@@ -1,0 +1,105 @@
+//! E4 + A2 — the distance oracle (Prop 4.2): constant-time tests vs the BFS
+//! baseline, preprocessing scaling, and the splitter-recursion ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_baseline::BfsDistanceBaseline;
+use nd_bench::{random_vertices, GraphFamily, SPARSE_FAMILIES};
+use nd_core::dist::{DistOracle, DistOracleOpts};
+
+fn bench_test_flatness(c: &mut Criterion) {
+    // The headline claim: test time flat in n.
+    let mut group = c.benchmark_group("dist/test");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &f in SPARSE_FAMILIES {
+        for n in [4_000usize, 16_000, 64_000] {
+            let g = f.build(n, 2);
+            let oracle = DistOracle::build(&g, 4, &DistOracleOpts::default());
+            let a = random_vertices(g.n(), 1_024, 7);
+            let b = random_vertices(g.n(), 1_024, 8);
+            group.throughput(Throughput::Elements(a.len() as u64));
+            group.bench_with_input(BenchmarkId::new(f.name(), g.n()), &g, |bch, _| {
+                bch.iter(|| {
+                    for i in 0..a.len() {
+                        std::hint::black_box(oracle.test(a[i], b[i]));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bfs_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist/bfs_baseline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [4_000usize, 16_000, 64_000] {
+        let g = GraphFamily::Grid.build(n, 2);
+        let a = random_vertices(g.n(), 256, 7);
+        let b = random_vertices(g.n(), 256, 8);
+        group.throughput(Throughput::Elements(a.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |bch, g| {
+            let mut bfs = BfsDistanceBaseline::new(g);
+            bch.iter(|| {
+                for i in 0..a.len() {
+                    std::hint::black_box(bfs.test(a[i], b[i], 4));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist/preprocess");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [4_000usize, 16_000, 64_000] {
+        // Grid: the locally-sparse regime the pseudo-linearity claim is
+        // about (the expander family's radius-8 balls make preprocessing a
+        // different, ball-size-bound story — see E4 in EXPERIMENTS.md).
+        let g = GraphFamily::Grid.build(n, 3);
+        group.throughput(Throughput::Elements(g.n() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| DistOracle::build(g, 4, &DistOracleOpts::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_splitter(c: &mut Criterion) {
+    // A2: recursion (splitter) vs flat naive per-vertex balls.
+    let mut group = c.benchmark_group("dist/ablation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let g = GraphFamily::Grid.build(16_000, 4);
+    for (name, opts) in [
+        ("recursive", DistOracleOpts::default()),
+        (
+            "flat",
+            DistOracleOpts {
+                max_rounds: 0,
+                ..DistOracleOpts::default()
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| DistOracle::build(&g, 6, opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_test_flatness,
+    bench_bfs_baseline,
+    bench_preprocessing,
+    bench_ablation_splitter
+);
+criterion_main!(benches);

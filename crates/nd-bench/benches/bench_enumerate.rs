@@ -1,0 +1,89 @@
+//! E7 + A1 — Corollary 2.5: constant-delay enumeration vs the streaming
+//! naive baseline, and the extendability-pruning ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_baseline::NaiveEnumerator;
+use nd_bench::{GraphFamily, SPARSE_FAMILIES};
+use nd_core::{PrepareOpts, PreparedQuery};
+use nd_logic::parse_query;
+
+const LIMIT: usize = 5_000;
+
+fn bench_indexed_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/indexed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+    for &f in SPARSE_FAMILIES {
+        for n in [4_000usize, 16_000, 64_000] {
+            let g = f.build_colored(n, 6);
+            let pq = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap();
+            group.throughput(Throughput::Elements(LIMIT as u64));
+            group.bench_with_input(BenchmarkId::new(f.name(), g.n()), &pq, |b, pq| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for sol in pq.enumerate().take(LIMIT) {
+                        count += sol.len();
+                    }
+                    std::hint::black_box(count)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_naive_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/naive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+    for n in [4_000usize, 16_000] {
+        let g = GraphFamily::Grid.build_colored(n, 6);
+        group.throughput(Throughput::Elements(LIMIT as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for sol in NaiveEnumerator::new(g, q.clone()).take(LIMIT) {
+                    count += sol.len();
+                }
+                std::hint::black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_extendability(c: &mut Criterion) {
+    // A1: rare solutions make unextendable prefixes common.
+    let mut group = c.benchmark_group("enumerate/ablation_extend");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let mut g = GraphFamily::Grid.build(16_000, 9);
+    let rare: Vec<u32> = (0..g.n() as u32).filter(|v| v % 301 == 7).collect();
+    g.add_color(rare, Some("Blue".into()));
+    let q =
+        parse_query("Blue(x) && dist(x,y) > 4 && Blue(y) && dist(y,z) > 4 && Blue(z)").unwrap();
+    for check in [true, false] {
+        let opts = PrepareOpts {
+            extendability_check: check,
+            ..PrepareOpts::default()
+        };
+        let pq = PreparedQuery::prepare(&g, &q, &opts).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(check), &pq, |b, pq| {
+            b.iter(|| std::hint::black_box(pq.enumerate().take(2_000).count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_indexed_enumeration,
+    bench_naive_enumeration,
+    bench_ablation_extendability
+);
+criterion_main!(benches);

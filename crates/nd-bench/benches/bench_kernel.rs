@@ -1,0 +1,28 @@
+//! E9 — kernels (Lemma 5.7): `K_p(X)` in `O(p · ‖G[X]‖)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_bench::SPARSE_FAMILIES;
+use nd_cover::{Cover, KernelIndex};
+
+fn bench_kernel_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/index");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &f in SPARSE_FAMILIES {
+        let g = f.build(16_000, 8);
+        let cover = Cover::build(&g, 4, 0.5);
+        for p in [1u32, 2, 4] {
+            group.throughput(Throughput::Elements(cover.total_bag_size() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(f.name(), p),
+                &p,
+                |b, &p| b.iter(|| KernelIndex::build(&g, &cover, p)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_index);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E5 — Theorem 2.3: `next_solution` flat in `n`; preprocessing pseudo-
+//! linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_bench::{mix, GraphFamily, SPARSE_FAMILIES};
+use nd_core::{PrepareOpts, PreparedQuery};
+use nd_logic::parse_query;
+
+fn bench_next_solution_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_solution/query");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let q2 = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+    let q3 = parse_query("q(x,y,z) := dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)").unwrap();
+    for &f in SPARSE_FAMILIES {
+        for n in [4_000usize, 16_000, 64_000] {
+            let g = f.build_colored(n, 4);
+            for (k, q) in [(2usize, &q2), (3, &q3)] {
+                let pq = PreparedQuery::prepare(&g, q, &PrepareOpts::default()).unwrap();
+                let probes: Vec<Vec<u32>> = (0..256u64)
+                    .map(|i| {
+                        (0..k)
+                            .map(|c| (mix(i * k as u64 + c as u64, 17) % g.n() as u64) as u32)
+                            .collect()
+                    })
+                    .collect();
+                group.throughput(Throughput::Elements(probes.len() as u64));
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/k{k}", f.name()), g.n()),
+                    &pq,
+                    |b, pq| {
+                        b.iter(|| {
+                            for p in &probes {
+                                std::hint::black_box(pq.next_solution(p));
+                            }
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_preparation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_solution/prepare");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+    for n in [4_000usize, 16_000, 64_000] {
+        let g = GraphFamily::Grid.build_colored(n, 4);
+        group.throughput(Throughput::Elements(g.n() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| PreparedQuery::prepare(g, &q, &PrepareOpts::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_next_solution_flat, bench_preparation);
+criterion_main!(benches);

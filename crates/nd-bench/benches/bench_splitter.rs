@@ -1,0 +1,44 @@
+//! E3 — the splitter game (Thm 4.6): cost of playing the game to
+//! completion and of single splitter moves (Remark 4.7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nd_bench::{GraphFamily, SPARSE_FAMILIES};
+use nd_graph::{InducedSubgraph, Vertex};
+use nd_splitter::{play_game, splitter_move, BallCenter, ConnectorStrategy};
+
+fn bench_full_game(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitter/full_game");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &f in SPARSE_FAMILIES {
+        let g = f.build(4_000, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(f.name()), &g, |b, g| {
+            b.iter(|| play_game(g, 2, &BallCenter, &ConnectorStrategy::MaxDegree))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_move(c: &mut Criterion) {
+    // Remark 4.7: a splitter move must cost O(‖N_r(c)‖), i.e. be flat in
+    // the total graph size for fixed ball sizes.
+    let mut group = c.benchmark_group("splitter/single_move");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for n in [4_000usize, 16_000, 64_000] {
+        let g = GraphFamily::Grid.build(n, 1);
+        let center = (g.n() / 2) as Vertex;
+        let ball = nd_graph::bfs::ball(&g, center, 4);
+        let sub = InducedSubgraph::new_uncolored(&g, &ball);
+        let local = sub.to_local(center).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| splitter_move(&sub, local, 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_game, bench_single_move);
+criterion_main!(benches);

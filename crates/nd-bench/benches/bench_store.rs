@@ -1,0 +1,98 @@
+//! E1 / Figure 1 — the Storing Theorem (Thm 3.1).
+//!
+//! Claims benchmarked: constant-time lookup (flat across `n`), `O(n^ε)`
+//! updates, `O(|Dom|·n^ε)` initialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_bench::mix;
+use nd_store::{FnStore, StoreParams};
+use std::hint::black_box;
+
+fn keys(n: u64, k: usize, count: usize, seed: u64) -> Vec<Vec<u64>> {
+    (0..count as u64)
+        .map(|i| (0..k).map(|c| mix(i * k as u64 + c as u64, seed) % n).collect())
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/lookup");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for log_n in [12u32, 16, 20] {
+        let n = 1u64 << log_n;
+        let dom = keys(n, 2, 8_192, 3);
+        let store = FnStore::from_pairs(
+            StoreParams::new(n, 2, 0.25),
+            dom.iter().map(|k| (k.as_slice(), 1u64)),
+        );
+        let probes = keys(n, 2, 1_024, 5);
+        group.throughput(Throughput::Elements(probes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for p in &probes {
+                    black_box(store.lookup(black_box(p)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for log_n in [12u32, 16, 20] {
+        let n = 1u64 << log_n;
+        let base = keys(n, 1, 4_096, 7);
+        let extra = keys(n, 1, 512, 9);
+        group.throughput(Throughput::Elements((extra.len() * 2) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    FnStore::from_pairs(
+                        StoreParams::new(n, 1, 0.25),
+                        base.iter().map(|k| (k.as_slice(), 1u64)),
+                    )
+                },
+                |mut store| {
+                    for k in &extra {
+                        store.insert(k, 2);
+                    }
+                    for k in &extra {
+                        store.remove(k);
+                    }
+                    store
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/init");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for dom_size in [1_000usize, 10_000, 100_000] {
+        let n = 1u64 << 20;
+        let dom = keys(n, 2, dom_size, 11);
+        group.throughput(Throughput::Elements(dom_size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dom_size), &dom_size, |b, _| {
+            b.iter(|| {
+                FnStore::from_pairs(
+                    StoreParams::new(n, 2, 0.25),
+                    dom.iter().map(|k| (k.as_slice(), 1u64)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert_remove, bench_init);
+criterion_main!(benches);

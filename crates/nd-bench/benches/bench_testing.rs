@@ -1,0 +1,58 @@
+//! E6 — Corollary 2.4: constant-time testing vs naive per-tuple evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nd_baseline::NaiveTester;
+use nd_bench::{random_vertices, GraphFamily, SPARSE_FAMILIES};
+use nd_core::{PrepareOpts, PreparedQuery};
+use nd_logic::parse_query;
+
+fn bench_indexed_testing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testing/indexed");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+    for &f in SPARSE_FAMILIES {
+        for n in [4_000usize, 16_000, 64_000] {
+            let g = f.build_colored(n, 5);
+            let pq = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap();
+            let a = random_vertices(g.n(), 1_024, 3);
+            let b = random_vertices(g.n(), 1_024, 4);
+            group.throughput(Throughput::Elements(a.len() as u64));
+            group.bench_with_input(BenchmarkId::new(f.name(), g.n()), &pq, |bch, pq| {
+                bch.iter(|| {
+                    for i in 0..a.len() {
+                        std::hint::black_box(pq.test(&[a[i], b[i]]));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_naive_testing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testing/naive");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+    for n in [4_000usize, 16_000] {
+        let g = GraphFamily::Grid.build_colored(n, 5);
+        let tester = NaiveTester::new(&g, q.clone());
+        let a = random_vertices(g.n(), 64, 3);
+        let b = random_vertices(g.n(), 64, 4);
+        group.throughput(Throughput::Elements(a.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &tester, |bch, tester| {
+            bch.iter(|| {
+                for i in 0..a.len() {
+                    std::hint::black_box(tester.test(&[a[i], b[i]]));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexed_testing, bench_naive_testing);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Shared workloads and measurement utilities for the experiment harness
+//! (`src/bin/experiments.rs`) and the criterion benches (`benches/`).
+//!
+//! Every experiment in EXPERIMENTS.md draws its graphs from
+//! [`GraphFamily`], so the harness and the benches measure identical
+//! workloads.
+
+use nd_graph::{generators, ColoredGraph, Vertex};
+use std::time::{Duration, Instant};
+
+/// Graph families standing in for nowhere dense classes (plus dense
+/// contrast families, marked `sparse() == false`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphFamily {
+    /// `√n × √n` grid — planar.
+    Grid,
+    /// Uniform random attachment tree.
+    RandomTree,
+    /// Random graph of maximum degree 4.
+    BoundedDegree4,
+    /// Grid with `n/20` random short chords — near-planar.
+    PerturbedGrid,
+    /// Scale-free preferential attachment (sparse with hubs).
+    ScaleFree,
+    /// Dense contrast: `G(n, m)` with `m = n^{1.5}/2`.
+    DenseGnm,
+    /// Dense contrast: the complete graph (tiny sizes only).
+    Clique,
+}
+
+pub const SPARSE_FAMILIES: &[GraphFamily] = &[
+    GraphFamily::Grid,
+    GraphFamily::RandomTree,
+    GraphFamily::BoundedDegree4,
+    GraphFamily::PerturbedGrid,
+];
+
+pub const ALL_FAMILIES: &[GraphFamily] = &[
+    GraphFamily::Grid,
+    GraphFamily::RandomTree,
+    GraphFamily::BoundedDegree4,
+    GraphFamily::PerturbedGrid,
+    GraphFamily::ScaleFree,
+    GraphFamily::DenseGnm,
+    GraphFamily::Clique,
+];
+
+impl GraphFamily {
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphFamily::Grid => "grid",
+            GraphFamily::RandomTree => "tree",
+            GraphFamily::BoundedDegree4 => "bdeg4",
+            GraphFamily::PerturbedGrid => "pgrid",
+            GraphFamily::ScaleFree => "ba3",
+            GraphFamily::DenseGnm => "gnm1.5",
+            GraphFamily::Clique => "clique",
+        }
+    }
+
+    /// Is this family a nowhere-dense stand-in (vs. a dense contrast)?
+    pub fn sparse(self) -> bool {
+        !matches!(
+            self,
+            GraphFamily::DenseGnm | GraphFamily::Clique | GraphFamily::ScaleFree
+        )
+    }
+
+    /// Build an instance with ~`n` vertices.
+    pub fn build(self, n: usize, seed: u64) -> ColoredGraph {
+        match self {
+            GraphFamily::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                generators::grid(side, side)
+            }
+            GraphFamily::RandomTree => generators::random_tree(n, seed),
+            GraphFamily::BoundedDegree4 => generators::bounded_degree(n, 4, seed),
+            GraphFamily::PerturbedGrid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                generators::perturbed_grid(side, side, n / 20, seed)
+            }
+            GraphFamily::ScaleFree => generators::barabasi_albert(n, 3, seed),
+            GraphFamily::DenseGnm => {
+                let m = ((n as f64).powf(1.5) / 2.0) as usize;
+                generators::gnm(n, m, seed)
+            }
+            GraphFamily::Clique => generators::clique(n.min(300)),
+        }
+    }
+
+    /// Build and attach the standard Blue (1/3) and Red (1/5) colors.
+    pub fn build_colored(self, n: usize, seed: u64) -> ColoredGraph {
+        standard_colors(self.build(n, seed), seed)
+    }
+}
+
+/// Attach deterministic pseudo-random Blue (≈1/3) and Red (≈1/5) colors.
+pub fn standard_colors(mut g: ColoredGraph, seed: u64) -> ColoredGraph {
+    let n = g.n() as Vertex;
+    let blue: Vec<Vertex> = (0..n)
+        .filter(|v| mix(*v as u64, seed).is_multiple_of(3))
+        .collect();
+    let red: Vec<Vertex> = (0..n)
+        .filter(|v| mix(*v as u64, seed ^ 0xdead) % 5 == 1)
+        .collect();
+    g.add_color(blue, Some("Blue".into()));
+    g.add_color(red, Some("Red".into()));
+    g
+}
+
+/// splitmix64-style deterministic hash for workload generation.
+pub fn mix(v: u64, seed: u64) -> u64 {
+    let mut z = v
+        .wrapping_add(seed)
+        .wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic pseudo-random vertex stream.
+pub fn random_vertices(n: usize, count: usize, seed: u64) -> Vec<Vertex> {
+    (0..count as u64)
+        .map(|i| (mix(i, seed) % n.max(1) as u64) as Vertex)
+        .collect()
+}
+
+/// Wall-clock one closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Delay statistics of a streamed enumeration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DelayStats {
+    pub outputs: usize,
+    pub total: Duration,
+    pub max_delay: Duration,
+    pub mean_delay_ns: f64,
+}
+
+/// Drain up to `limit` items from an iterator, recording inter-output
+/// delays.
+pub fn measure_delays<I: Iterator>(iter: I, limit: usize) -> DelayStats {
+    let t_start = Instant::now();
+    let mut last = t_start;
+    let mut max_delay = Duration::ZERO;
+    let mut outputs = 0usize;
+    for _ in iter.take(limit) {
+        let now = Instant::now();
+        max_delay = max_delay.max(now - last);
+        last = now;
+        outputs += 1;
+    }
+    let total = t_start.elapsed();
+    DelayStats {
+        outputs,
+        total,
+        max_delay,
+        mean_delay_ns: if outputs > 0 {
+            total.as_nanos() as f64 / outputs as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Fixed-width table printing for the experiment harness.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str], widths: &[usize]) -> Table {
+        assert_eq!(headers.len(), widths.len());
+        let t = Table {
+            widths: widths.to_vec(),
+        };
+        t.row(headers);
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        t
+    }
+
+    pub fn row<S: AsRef<str>>(&self, cells: &[S]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{:>w$}", c.as_ref(), w = w))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Human-readable duration.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build() {
+        for f in ALL_FAMILIES {
+            let g = f.build_colored(100, 1);
+            assert!(g.n() > 0, "{}", f.name());
+            assert_eq!(g.num_colors(), 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        assert_eq!(random_vertices(50, 5, 3), random_vertices(50, 5, 3));
+        assert_ne!(random_vertices(50, 5, 3), random_vertices(50, 5, 4));
+    }
+
+    #[test]
+    fn delay_measurement() {
+        let s = measure_delays(0..100, 50);
+        assert_eq!(s.outputs, 50);
+        assert!(s.total >= s.max_delay);
+    }
+}

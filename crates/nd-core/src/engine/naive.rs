@@ -1,0 +1,68 @@
+//! The naive fallback engine: full materialization at preparation time.
+//!
+//! Exposes the same testing / next-solution / enumeration API as the
+//! indexed engine, so (a) every FO⁺ query is supported end-to-end, and
+//! (b) the experiment harness has an honest baseline whose preprocessing is
+//! `O(n^{k+qr})` and whose index is `O(|q(G)|)` — the costs the paper's
+//! machinery avoids.
+
+use nd_graph::{ColoredGraph, Vertex};
+use nd_logic::ast::Query;
+use nd_logic::eval::materialize;
+
+pub struct NaiveEngine {
+    arity: usize,
+    /// All solutions, lexicographically sorted.
+    solutions: Vec<Vec<Vertex>>,
+}
+
+impl NaiveEngine {
+    pub fn prepare(g: &ColoredGraph, q: &Query) -> NaiveEngine {
+        NaiveEngine {
+            arity: q.arity(),
+            solutions: materialize(g, q),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub fn count(&self) -> usize {
+        self.solutions.len()
+    }
+
+    pub fn test(&self, tuple: &[Vertex]) -> bool {
+        self.solutions
+            .binary_search_by(|s| s.as_slice().cmp(tuple))
+            .is_ok()
+    }
+
+    pub fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
+        let idx = self
+            .solutions
+            .partition_point(|s| s.as_slice() < from);
+        self.solutions.get(idx).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_graph::generators;
+    use nd_logic::parse_query;
+
+    #[test]
+    fn api_contract() {
+        let g = generators::cycle(6);
+        let q = parse_query("E(x,y)").unwrap();
+        let e = NaiveEngine::prepare(&g, &q);
+        assert_eq!(e.count(), 12);
+        assert!(e.test(&[0, 1]));
+        assert!(!e.test(&[0, 2]));
+        assert_eq!(e.next_solution(&[0, 0]), Some(vec![0, 1]));
+        assert_eq!(e.next_solution(&[0, 2]), Some(vec![0, 5]));
+        assert_eq!(e.next_solution(&[5, 5]), None);
+        assert_eq!(e.arity(), 2);
+    }
+}

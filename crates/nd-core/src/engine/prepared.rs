@@ -1,0 +1,808 @@
+//! The prepared-query front-end: **Theorem 2.3** (next solution),
+//! **Corollary 2.4** (testing) and **Corollary 2.5** (constant-delay
+//! enumeration in lexicographic order).
+//!
+//! Preparation (Section 5.2.1, adapted to the fragment of
+//! [`crate::engine::fragment`]):
+//!
+//! 1. check the branch's sentences (the `ξ` analogues) once;
+//! 2. evaluate every unary formula `U_i` for all vertices (Unary Theorem
+//!    substitute) into sorted lists `L_i` + membership bitsets;
+//! 3. build one distance oracle (Prop 4.2) per distinct constraint radius;
+//! 4. build a `2r`-cover, its `r`-kernels, and — for every position with a
+//!    far constraint — skip pointers (Lemma 5.8) over `L_j`.
+//!
+//! Answering (Section 5.2.2, adapted): `next_value(prefix, j, b)` — the
+//! Lemma 5.2 primitive — finds the smallest admissible value `≥ b` for
+//! position `j` by case analysis on the constraints to the prefix:
+//!
+//! * an equality pins the candidate; an edge constraint scans the anchor's
+//!   adjacency list; a `dist ≤ d` constraint scans the anchor's cover bag
+//!   through the Storing-Theorem successor structure (candidates are
+//!   confined to the bag because `N_d(a) ⊆ X(a)`) — the paper's "Case II";
+//! * far-only constraints take the minimum of (a) per-anchor scans of the
+//!   kernels `K_r(X(a_i))` and (b) a `SKIP` jump over `L_j` past all those
+//!   kernels, which is guaranteed far because outside `K_r(X(a))` implies
+//!   `dist(·, a) > r` under a `2r`-cover — the paper's "Case I";
+//! * no constraints: the successor in `L_j`.
+//!
+//! `next_solution` is then the Theorem 5.1 ⇆ Lemma 5.2 mutual induction,
+//! realized as lexicographic backtracking over `next_value` with an
+//! extendability pre-check per future position. Per-candidate work is
+//! `O(1)`; the number of candidates inspected per output is bounded by bag/
+//! kernel sizes — independent of `n` on sparse families (measured in E5/E7;
+//! see DESIGN.md §2 for how this relates to the paper's strictly-constant
+//! delay).
+
+use crate::dist::{DistOracle, DistOracleOpts};
+use crate::engine::fragment::{compile, BinKind, FragmentQuery, UnsupportedReason};
+use crate::engine::naive::NaiveEngine;
+use crate::skip::SkipPointers;
+use nd_cover::{Cover, KernelIndex};
+use nd_graph::{ColoredGraph, Vertex};
+use nd_logic::ast::{Formula, Query};
+use nd_logic::eval::eval;
+use nd_logic::locality::evaluate_unary;
+use std::collections::HashMap;
+
+/// Preparation options.
+#[derive(Clone, Debug)]
+pub struct PrepareOpts {
+    /// The pseudo-linearity accuracy `ε` used by covers and stores.
+    pub epsilon: f64,
+    /// Distance-oracle construction knobs.
+    pub dist: DistOracleOpts,
+    /// Fall back to the naive engine when the query is outside the
+    /// fragment (`true`), or report the reason (`false`).
+    pub allow_fallback: bool,
+    /// Prune backtracking with per-future-position extendability checks.
+    pub extendability_check: bool,
+}
+
+impl Default for PrepareOpts {
+    fn default() -> Self {
+        PrepareOpts {
+            epsilon: 0.5,
+            dist: DistOracleOpts::default(),
+            allow_fallback: true,
+            extendability_check: true,
+        }
+    }
+}
+
+/// Sizes of a prepared query's index structures (see
+/// [`PreparedQuery::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepareStats {
+    /// Union branches compiled.
+    pub branches: usize,
+    /// Branches whose sentences held.
+    pub active_branches: usize,
+    /// Distance oracles built (one per distinct constraint radius/branch).
+    pub oracles: usize,
+    /// Total vertices materialized across all oracle recursion levels.
+    pub oracle_vertices: usize,
+    /// Deepest oracle recursion.
+    pub oracle_depth: u32,
+    /// Bags across all branch covers.
+    pub cover_bags: usize,
+    /// `Σ|X|` across all branch covers.
+    pub cover_total_size: usize,
+    /// Maximum cover degree.
+    pub cover_degree: usize,
+    /// `Σ_j |L_j|` across branches.
+    pub unary_list_sizes: usize,
+    /// Total tabulated skip-pointer entries.
+    pub skip_entries: usize,
+    /// Whether any skip table hit its size cap.
+    pub skip_truncated: bool,
+    /// For the naive engine: the materialized solution count.
+    pub naive_solutions: Option<usize>,
+}
+
+/// Which engine backs a prepared query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's machinery, with this many union branches.
+    Indexed { branches: usize },
+    /// Naive materialization (fallback / baseline).
+    Naive,
+}
+
+/// A query prepared against a fixed graph (Theorem 2.3's data structure).
+pub struct PreparedQuery<'g> {
+    g: &'g ColoredGraph,
+    arity: usize,
+    engine: EngineImpl<'g>,
+}
+
+enum EngineImpl<'g> {
+    Indexed(Vec<BranchEngine<'g>>),
+    Naive(NaiveEngine),
+}
+
+impl<'g> PreparedQuery<'g> {
+    /// Preprocess `q` over `g`. Pseudo-linear for fragment queries;
+    /// `O(n^k)`-ish for fallback queries (or an error when
+    /// `opts.allow_fallback` is off).
+    pub fn prepare(
+        g: &'g ColoredGraph,
+        q: &Query,
+        opts: &PrepareOpts,
+    ) -> Result<PreparedQuery<'g>, UnsupportedReason> {
+        match compile(q) {
+            Ok(branches) => {
+                let engines = branches
+                    .into_iter()
+                    .map(|fq| BranchEngine::prepare(g, fq, opts))
+                    .collect();
+                Ok(PreparedQuery {
+                    g,
+                    arity: q.arity(),
+                    engine: EngineImpl::Indexed(engines),
+                })
+            }
+            Err(_reason) if opts.allow_fallback => Ok(PreparedQuery {
+                g,
+                arity: q.arity(),
+                engine: EngineImpl::Naive(NaiveEngine::prepare(g, q)),
+            }),
+            Err(reason) => Err(reason),
+        }
+    }
+
+    /// Which engine ended up backing the query.
+    pub fn engine_kind(&self) -> EngineKind {
+        match &self.engine {
+            EngineImpl::Indexed(bs) => EngineKind::Indexed { branches: bs.len() },
+            EngineImpl::Naive(_) => EngineKind::Naive,
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Sizes of the preprocessed structures (index observability; used by
+    /// the experiment harness to verify pseudo-linearity).
+    pub fn stats(&self) -> PrepareStats {
+        let mut s = PrepareStats::default();
+        match &self.engine {
+            EngineImpl::Naive(n) => {
+                s.naive_solutions = Some(n.count());
+            }
+            EngineImpl::Indexed(bs) => {
+                s.branches = bs.len();
+                for b in bs {
+                    s.active_branches += b.active as usize;
+                    s.oracles += b.oracles.len();
+                    for o in b.oracles.values() {
+                        let os = o.stats();
+                        s.oracle_vertices += os.total_vertices;
+                        s.oracle_depth = s.oracle_depth.max(os.depth);
+                    }
+                    if let Some(c) = &b.cover {
+                        s.cover_bags += c.num_bags();
+                        s.cover_total_size += c.total_bag_size();
+                        s.cover_degree = s.cover_degree.max(c.degree());
+                    }
+                    s.unary_list_sizes += b.unary_lists.iter().map(Vec::len).sum::<usize>();
+                    for sp in b.skips.iter().flatten() {
+                        s.skip_entries += sp.table_len();
+                        s.skip_truncated |= sp.truncated();
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// **Corollary 2.4**: is `tuple` a solution? Constant time.
+    pub fn test(&self, tuple: &[Vertex]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        debug_assert!(tuple.iter().all(|&v| (v as usize) < self.g.n()));
+        match &self.engine {
+            EngineImpl::Indexed(bs) => bs.iter().any(|b| b.test_tuple(tuple)),
+            EngineImpl::Naive(n) => n.test(tuple),
+        }
+    }
+
+    /// **Theorem 2.3**: the lexicographically smallest solution `≥ from`,
+    /// or `None`.
+    pub fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
+        assert_eq!(from.len(), self.arity, "tuple arity mismatch");
+        match &self.engine {
+            EngineImpl::Indexed(bs) => bs
+                .iter()
+                .filter_map(|b| b.next_solution(from))
+                .min(),
+            EngineImpl::Naive(n) => n.next_solution(from),
+        }
+    }
+
+    /// **Corollary 2.5**: enumerate `q(G)` in increasing lexicographic
+    /// order with constant delay.
+    pub fn enumerate(&self) -> Enumerate<'_, 'g> {
+        let first = if self.g.n() == 0 && self.arity > 0 {
+            None
+        } else {
+            self.next_solution(&vec![0; self.arity])
+        };
+        Enumerate { pq: self, next: first }
+    }
+
+    /// Count all solutions. Pseudo-linear for single-branch fragment
+    /// queries whose constraint components have ≤ 2 positions (the
+    /// Grohe–Schweikardt counting claim for our fragment — see
+    /// `engine::counting`); enumeration-based otherwise.
+    pub fn count(&self) -> usize {
+        if let EngineImpl::Indexed(bs) = &self.engine {
+            if let [branch] = bs.as_slice() {
+                if let Some(c) = branch.fast_count() {
+                    return c as usize;
+                }
+            }
+        }
+        if let EngineImpl::Naive(n) = &self.engine {
+            return n.count();
+        }
+        self.enumerate().count()
+    }
+
+    fn lex_increment(&self, t: &[Vertex]) -> Option<Vec<Vertex>> {
+        let n = self.g.n() as Vertex;
+        let mut out = t.to_vec();
+        for i in (0..out.len()).rev() {
+            if out[i] + 1 < n {
+                out[i] += 1;
+                return Some(out);
+            }
+            out[i] = 0;
+        }
+        None
+    }
+}
+
+/// Streaming enumeration in lexicographic order.
+pub struct Enumerate<'a, 'g> {
+    pq: &'a PreparedQuery<'g>,
+    next: Option<Vec<Vertex>>,
+}
+
+impl Iterator for Enumerate<'_, '_> {
+    type Item = Vec<Vertex>;
+
+    fn next(&mut self) -> Option<Vec<Vertex>> {
+        let cur = self.next.take()?;
+        if self.pq.arity == 0 {
+            // A true sentence has exactly one (empty) solution.
+            self.next = None;
+            return Some(cur);
+        }
+        self.next = self
+            .pq
+            .lex_increment(&cur)
+            .and_then(|succ| self.pq.next_solution(&succ));
+        Some(cur)
+    }
+}
+
+// ---------------------------------------------------------------------
+// One branch of the indexed engine.
+// ---------------------------------------------------------------------
+
+struct BranchEngine<'g> {
+    g: &'g ColoredGraph,
+    fq: FragmentQuery,
+    /// All sentences hold (otherwise the branch is empty and inert).
+    active: bool,
+    /// One distance oracle per distinct constraint radius `≥ 1`.
+    oracles: HashMap<u32, DistOracle>,
+    /// `2r`-cover (present iff some constraint is `Le` or `Gt`).
+    cover: Option<Cover>,
+    /// `r`-kernels of the cover bags (present iff some constraint is `Gt`).
+    kernels: Option<KernelIndex>,
+    /// Sorted `L_j` per position.
+    unary_lists: Vec<Vec<Vertex>>,
+    /// Membership bitsets per position.
+    unary_bits: Vec<Vec<bool>>,
+    /// Skip pointers per position (present iff the position has a far
+    /// constraint).
+    skips: Vec<Option<SkipPointers>>,
+    extend_check: bool,
+}
+
+impl<'g> BranchEngine<'g> {
+    fn prepare(g: &'g ColoredGraph, fq: FragmentQuery, opts: &PrepareOpts) -> BranchEngine<'g> {
+        let n = g.n();
+        // Step 1: sentences (the ξ analogues). Independence sentences get
+        // the fast scattered-set decision of Theorem 5.4's toolbox; other
+        // sentences fall back to naive model checking.
+        let active = fq.sentences.iter().all(|s| {
+            if let Some(ind) = crate::independence::recognize(s) {
+                let witnesses = evaluate_unary(g, &ind.psi, ind.var);
+                crate::independence::holds(g, &ind, &witnesses)
+            } else {
+                eval(g, &Query::new(s.clone(), vec![]), &[])
+            }
+        });
+
+        let mut engine = BranchEngine {
+            g,
+            active,
+            oracles: HashMap::new(),
+            cover: None,
+            kernels: None,
+            unary_lists: vec![Vec::new(); fq.k],
+            unary_bits: vec![Vec::new(); fq.k],
+            skips: (0..fq.k).map(|_| None).collect(),
+            extend_check: opts.extendability_check,
+            fq,
+        };
+        if !active {
+            return engine;
+        }
+
+        // Step 2: unary lists + bitsets (Unary Theorem substitute).
+        for j in 0..engine.fq.k {
+            let list = match &engine.fq.unary[j] {
+                Formula::True => (0..n as Vertex).collect(),
+                f => evaluate_unary(g, f, engine.fq.vars[j]),
+            };
+            let mut bits = vec![false; n];
+            for &v in &list {
+                bits[v as usize] = true;
+            }
+            engine.unary_lists[j] = list;
+            engine.unary_bits[j] = bits;
+        }
+
+        // Step 3: distance oracles per distinct radius.
+        let mut opts_dist = opts.dist;
+        opts_dist.epsilon = opts.epsilon;
+        for c in &engine.fq.binary {
+            if let BinKind::Le(d) | BinKind::Gt(d) = c.kind {
+                engine
+                    .oracles
+                    .entry(d)
+                    .or_insert_with(|| DistOracle::build(g, d, &opts_dist));
+            }
+        }
+
+        // Step 4: cover, kernels, skip pointers.
+        let r = engine.fq.max_radius();
+        let needs_cover = engine
+            .fq
+            .binary
+            .iter()
+            .any(|c| matches!(c.kind, BinKind::Le(_) | BinKind::Gt(_)));
+        let needs_kernels = engine.fq.binary.iter().any(|c| c.kind.excluding());
+        if needs_cover {
+            engine.cover = Some(Cover::build(g, 2 * r, opts.epsilon));
+        }
+        if needs_kernels {
+            let cover = engine.cover.as_ref().unwrap();
+            let kernels = KernelIndex::build(g, cover, r);
+            for j in 0..engine.fq.k {
+                let far_count = engine
+                    .fq
+                    .constraints_on(j)
+                    .filter(|c| c.kind.excluding())
+                    .count();
+                if far_count > 0 {
+                    // Cap the SC closure so expander-like inputs (huge
+                    // kernel degrees) degrade to scans instead of blowing
+                    // memory — the pseudo-linear budget of Lemma 5.8.
+                    let cap = (64 * n).max(1_000_000);
+                    engine.skips[j] = Some(SkipPointers::build_with_cap(
+                        n,
+                        &kernels,
+                        engine.unary_lists[j].clone(),
+                        far_count,
+                        cap,
+                    ));
+                }
+            }
+            engine.kernels = Some(kernels);
+        }
+        engine
+    }
+
+    /// Pseudo-linear counting (see `engine::counting`).
+    fn fast_count(&self) -> Option<u64> {
+        crate::engine::counting::fast_count(
+            self.g,
+            &self.fq,
+            self.active,
+            &self.unary_lists,
+            &self.unary_bits,
+        )
+    }
+
+    /// Constant-time binary-constraint test.
+    fn test_bin(&self, kind: BinKind, a: Vertex, b: Vertex) -> bool {
+        match kind {
+            BinKind::Le(d) => self.oracles[&d].test(a, b),
+            BinKind::Gt(d) => !self.oracles[&d].test(a, b),
+            BinKind::Edge => self.g.has_edge(a, b),
+            BinKind::NotEdge => !self.g.has_edge(a, b),
+            BinKind::Eq => a == b,
+            BinKind::Neq => a != b,
+        }
+    }
+
+    /// Corollary 2.4 test for this branch.
+    fn test_tuple(&self, t: &[Vertex]) -> bool {
+        self.active
+            && (0..self.fq.k).all(|j| self.unary_bits[j][t[j] as usize])
+            && self
+                .fq
+                .binary
+                .iter()
+                .all(|c| self.test_bin(c.kind, t[c.i], t[c.j]))
+    }
+
+    /// Unary + prefix-constraint test for a candidate value at position `j`.
+    fn test_candidate(&self, prefix: &[Vertex], j: usize, b: Vertex) -> bool {
+        self.unary_bits[j][b as usize]
+            && self
+                .fq
+                .constraints_on(j)
+                .filter(|c| c.i < prefix.len())
+                .all(|c| self.test_bin(c.kind, prefix[c.i], b))
+    }
+
+    /// The Lemma 5.2 primitive: smallest `b ≥ b0` admissible at position
+    /// `j ≥ prefix.len()` given the already-fixed prefix (constraints to
+    /// unassigned positions are ignored).
+    fn next_value(&self, prefix: &[Vertex], j: usize, b0: Vertex) -> Option<Vertex> {
+        if !self.active || (b0 as usize) >= self.g.n() {
+            return None;
+        }
+        let relevant: Vec<(usize, BinKind)> = self
+            .fq
+            .constraints_on(j)
+            .filter(|c| c.i < prefix.len())
+            .map(|c| (c.i, c.kind))
+            .collect();
+
+        // Pick the tightest confining constraint: Eq ≻ Edge ≻ Le(min d).
+        if let Some(&(i, _)) = relevant.iter().find(|(_, k)| *k == BinKind::Eq) {
+            let cand = prefix[i];
+            return (cand >= b0 && self.test_candidate(prefix, j, cand)).then_some(cand);
+        }
+        if let Some(&(i, _)) = relevant.iter().find(|(_, k)| *k == BinKind::Edge) {
+            let ns = self.g.neighbors(prefix[i]);
+            let start = ns.partition_point(|&w| w < b0);
+            return ns[start..]
+                .iter()
+                .copied()
+                .find(|&w| self.test_candidate(prefix, j, w));
+        }
+        let le_anchor = relevant
+            .iter()
+            .filter_map(|&(i, k)| match k {
+                BinKind::Le(d) => Some((d, i)),
+                _ => None,
+            })
+            .min();
+        if let Some((_, i)) = le_anchor {
+            // Case II: candidates confined to the anchor's bag; walk it via
+            // the Storing-Theorem successor structure.
+            let cover = self.cover.as_ref().expect("cover built for Le");
+            let bag = cover.bag_of(prefix[i]);
+            let mut w = cover.successor_in_bag(bag, b0)?;
+            loop {
+                if self.test_candidate(prefix, j, w) {
+                    return Some(w);
+                }
+                w = cover.successor_in_bag(bag, w.checked_add(1)?)?;
+            }
+        }
+
+        let far_anchors: Vec<Vertex> = relevant
+            .iter()
+            .filter(|(_, k)| k.excluding())
+            .map(|&(i, _)| prefix[i])
+            .collect();
+        if !far_anchors.is_empty() {
+            // Case I: the answer is in some anchor's kernel, or the SKIP
+            // jump past all kernels.
+            let cover = self.cover.as_ref().expect("cover built for Gt");
+            let kernels = self.kernels.as_ref().expect("kernels built for Gt");
+            let mut best: Option<Vertex> = None;
+            let better = |best: &Option<Vertex>, w: Vertex| best.is_none_or(|b| w < b);
+
+            for &a in &far_anchors {
+                let kern = kernels.kernel(cover.bag_of(a));
+                let start = kern.partition_point(|&w| w < b0);
+                for &w in &kern[start..] {
+                    if !better(&best, w) {
+                        break;
+                    }
+                    if self.test_candidate(prefix, j, w) {
+                        best = Some(w);
+                        break;
+                    }
+                }
+            }
+
+            let sp = self.skips[j].as_ref().expect("skips built for Gt");
+            let mut bags: Vec<_> = far_anchors.iter().map(|&a| cover.bag_of(a)).collect();
+            bags.sort_unstable();
+            bags.dedup();
+            let mut b = b0;
+            while let Some(w) = sp.skip(kernels, b, &bags) {
+                if !better(&best, w) {
+                    break;
+                }
+                if self.test_candidate(prefix, j, w) {
+                    best = Some(w);
+                    break;
+                }
+                // Only filter constraints (≠, ¬E) can reject here; their
+                // total rejections are bounded, so this loop is short.
+                match w.checked_add(1) {
+                    Some(next) if (next as usize) < self.g.n() => b = next,
+                    _ => break,
+                }
+            }
+            return best;
+        }
+
+        // Only filters (≠ / ¬E) or no constraints: scan L_j.
+        let list = &self.unary_lists[j];
+        let start = list.partition_point(|&w| w < b0);
+        list[start..]
+            .iter()
+            .copied()
+            .find(|&w| self.test_candidate(prefix, j, w))
+    }
+
+    /// Can the prefix be extended to a full solution? (Necessary per-future
+    /// -position check; prunes backtracking.)
+    fn extendable(&self, prefix: &[Vertex]) -> bool {
+        (prefix.len()..self.fq.k).all(|m| self.next_value(prefix, m, 0).is_some())
+    }
+
+    /// Theorem 5.1 for this branch: lexicographic backtracking over
+    /// `next_value`.
+    fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
+        if !self.active {
+            return None;
+        }
+        if self.fq.k == 0 {
+            return Some(Vec::new());
+        }
+        if self.g.n() == 0 {
+            return None;
+        }
+        let mut prefix: Vec<Vertex> = Vec::with_capacity(self.fq.k);
+        self.rec(from, &mut prefix, true)
+    }
+
+    fn rec(&self, from: &[Vertex], prefix: &mut Vec<Vertex>, tight: bool) -> Option<Vec<Vertex>> {
+        let j = prefix.len();
+        let lower = if tight { from[j] } else { 0 };
+        let mut cand = self.next_value(prefix, j, lower);
+        while let Some(b) = cand {
+            if j + 1 == self.fq.k {
+                let mut sol = prefix.clone();
+                sol.push(b);
+                return Some(sol);
+            }
+            let now_tight = tight && b == from[j];
+            prefix.push(b);
+            if !self.extend_check || self.extendable(prefix) {
+                if let Some(sol) = self.rec(from, prefix, now_tight) {
+                    return Some(sol);
+                }
+            }
+            prefix.pop();
+            cand = b.checked_add(1).and_then(|nb| self.next_value(prefix, j, nb));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_graph::generators;
+    use nd_logic::eval::materialize;
+    use nd_logic::parse_query;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Full-contract check: enumeration matches naive materialization,
+    /// test matches membership, next_solution matches partition points on
+    /// random probes.
+    fn check_full(g: &ColoredGraph, src: &str, opts: &PrepareOpts, seed: u64) {
+        let q = parse_query(src).unwrap();
+        let pq = PreparedQuery::prepare(g, &q, opts).unwrap();
+        let want = materialize(g, &q);
+        let got: Vec<_> = pq.enumerate().collect();
+        assert_eq!(got, want, "enumeration mismatch for {src}");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = q.arity();
+        for _ in 0..40 {
+            let probe: Vec<Vertex> = (0..k)
+                .map(|_| rng.random_range(0..g.n() as Vertex))
+                .collect();
+            let member = want.binary_search(&probe).is_ok();
+            assert_eq!(pq.test(&probe), member, "test({probe:?}) for {src}");
+            let idx = want.partition_point(|s| s < &probe);
+            assert_eq!(
+                pq.next_solution(&probe),
+                want.get(idx).cloned(),
+                "next_solution({probe:?}) for {src}"
+            );
+        }
+    }
+
+    fn colored(g: ColoredGraph, seed: u64) -> ColoredGraph {
+        let g = generators::with_random_colors(g, 2, 0.4, seed);
+        // Name the colors Blue/Red for query readability.
+        let b = g.color_members(nd_graph::ColorId(0)).to_vec();
+        let r = g.color_members(nd_graph::ColorId(1)).to_vec();
+        let mut fresh = generators::with_random_colors(
+            {
+                let mut only_edges = nd_graph::GraphBuilder::new(g.n());
+                for (u, v) in g.edges() {
+                    only_edges.add_edge(u, v);
+                }
+                only_edges.build()
+            },
+            0,
+            0.0,
+            0,
+        );
+        fresh.add_color(b, Some("Blue".into()));
+        fresh.add_color(r, Some("Red".into()));
+        fresh
+    }
+
+    fn small_opts() -> PrepareOpts {
+        PrepareOpts {
+            epsilon: 0.5,
+            dist: DistOracleOpts {
+                max_rounds: 8,
+                naive_threshold: 6,
+                ..DistOracleOpts::default()
+            },
+            allow_fallback: true,
+            extendability_check: true,
+        }
+    }
+
+    const QUERIES: &[&str] = &[
+        // Paper Example 1-A.
+        "dist(x,y) <= 2",
+        // Paper Example 2.
+        "dist(x,y) > 2 && Blue(y)",
+        // Paper's ternary example.
+        "dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)",
+        // Mixed close/far.
+        "dist(x,y) <= 2 && dist(y,z) > 3 && Red(x)",
+        // Edges, inequality, filters.
+        "E(x,y) && x != y && Blue(x)",
+        "Blue(x) && !E(x,y) && Red(y)",
+        // Guarded unary subformulas (parenthesized: a bare quantifier in
+        // operand position scopes over the whole rest of the conjunction).
+        "(exists u. (E(x,u) && Blue(u))) && dist(x,y) > 2",
+        // Union.
+        "E(x,y) || (dist(x,y) > 3 && Blue(y))",
+        // Equality pin.
+        "dist(x,y) <= 1 && x = y",
+        // Pure unary product.
+        "Blue(x) && Red(y)",
+        // Mixed radii far constraints.
+        "dist(x,y) > 1 && dist(x,z) > 3 && Red(z)",
+    ];
+
+    #[test]
+    fn matches_naive_on_random_sparse_graphs() {
+        for (gi, base) in [
+            generators::random_tree(28, 3),
+            generators::grid(5, 5),
+            generators::bounded_degree(30, 3, 7),
+            generators::cycle(26),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let g = colored(base, gi as u64 + 10);
+            for (qi, src) in QUERIES.iter().enumerate() {
+                check_full(&g, src, &small_opts(), (gi * 100 + qi) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn all_fragment_queries_use_indexed_engine() {
+        let g = colored(generators::grid(4, 4), 5);
+        for src in QUERIES {
+            let q = parse_query(src).unwrap();
+            let pq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+            assert!(
+                matches!(pq.engine_kind(), EngineKind::Indexed { .. }),
+                "{src} fell back to naive"
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_engine_handles_general_fo() {
+        let g = colored(generators::cycle(12), 6);
+        // A genuinely non-fragment query: common neighbor.
+        let src = "exists u. (E(x,u) && E(u,y)) && x != y";
+        let q = parse_query(src).unwrap();
+        let pq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+        assert_eq!(pq.engine_kind(), EngineKind::Naive);
+        let want = materialize(&g, &q);
+        let got: Vec<_> = pq.enumerate().collect();
+        assert_eq!(got, want);
+
+        let mut strict = small_opts();
+        strict.allow_fallback = false;
+        assert!(PreparedQuery::prepare(&g, &q, &strict).is_err());
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let g = colored(generators::path(10), 1);
+        let yes = parse_query("exists x. Blue(x)").unwrap();
+        let pq = PreparedQuery::prepare(&g, &yes, &small_opts()).unwrap();
+        assert_eq!(pq.enumerate().collect::<Vec<_>>(), vec![Vec::<Vertex>::new()]);
+        assert!(pq.test(&[]));
+
+        let no = parse_query("exists x. (Blue(x) && Red(x) && !Blue(x))").unwrap();
+        let pq = PreparedQuery::prepare(&g, &no, &small_opts()).unwrap();
+        assert_eq!(pq.enumerate().count(), 0);
+        assert!(!pq.test(&[]));
+    }
+
+    #[test]
+    fn unary_queries() {
+        let g = colored(generators::random_tree(40, 2), 3);
+        check_full(&g, "Blue(x)", &small_opts(), 1);
+        check_full(&g, "exists u. (dist(x,u) <= 2 && Red(u))", &small_opts(), 2);
+    }
+
+    #[test]
+    fn empty_graph_and_no_solutions() {
+        let g = generators::path(0);
+        let q = parse_query("E(x,y)").unwrap();
+        let pq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+        assert_eq!(pq.enumerate().count(), 0);
+
+        let mut g1 = generators::path(5);
+        g1.add_color(vec![], Some("Blue".into()));
+        let q = parse_query("Blue(x) && E(x,y)").unwrap();
+        let pq = PreparedQuery::prepare(&g1, &q, &small_opts()).unwrap();
+        assert_eq!(pq.enumerate().count(), 0);
+        assert_eq!(pq.next_solution(&[0, 0]), None);
+    }
+
+    #[test]
+    fn enumeration_is_strictly_increasing() {
+        let g = colored(generators::grid(6, 6), 9);
+        let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+        let pq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+        let sols: Vec<_> = pq.enumerate().collect();
+        for w in sols.windows(2) {
+            assert!(w[0] < w[1], "not strictly increasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn without_extendability_check_still_correct() {
+        let mut opts = small_opts();
+        opts.extendability_check = false;
+        let g = colored(generators::random_tree(25, 8), 4);
+        for src in ["dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)", "E(x,y) && Blue(x)"] {
+            check_full(&g, src, &opts, 77);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! `(r, q)`-independence sentences (Section 5.1.2).
+//!
+//! An independence sentence asserts the existence of `k' ≤ q` pairwise
+//! far-apart witnesses of a quantifier-free unary property:
+//!
+//! ```text
+//! ∃z_1 … ∃z_{k'} ( ⋀_{i<j} dist(z_i, z_j) > r'  ∧  ⋀_i ψ(z_i) )
+//! ```
+//!
+//! These are the only *global* (non-bag-local) checks the Rank-Preserving
+//! Normal Form leaves behind, so evaluating them fast matters: naive
+//! evaluation is `O(n^{k'})`. We use the classical sparse-graph argument:
+//!
+//! 1. greedily build a maximal `r'`-scattered subset `S` of the witness set
+//!    `L = ψ(G)` (one pass over `L` with capped BFS balls — pseudo-linear
+//!    on sparse graphs);
+//! 2. if `|S| ≥ k'`, the sentence holds (greedy witnesses are a solution);
+//! 3. otherwise *every* `L`-vertex is within distance `r'` of `S` (by
+//!    maximality), so any solution lives inside `⋃_{s∈S} N_{r'}(s)` — a set
+//!    of at most `(k'-1) · maxball` vertices — and an exact bounded search
+//!    there decides the sentence. This is the standard FPT kernelization
+//!    for scattered sets.
+
+use nd_graph::{BfsScratch, ColoredGraph, Vertex};
+use nd_logic::ast::{Formula, VarId};
+
+/// A recognized independence sentence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndependenceSentence {
+    /// Number of witnesses `k'`.
+    pub count: usize,
+    /// Pairwise distance bound `r'` (witnesses must be at distance `> r'`).
+    pub radius: u32,
+    /// The unary witness property `ψ(z)` (free variable [`Self::var`]).
+    pub psi: Formula,
+    pub var: VarId,
+}
+
+/// Try to recognize `f` as an independence sentence. Expected shape:
+/// nested existentials over a conjunction of pairwise `dist > r'` atoms
+/// (all with the same `r'`) and unary conjuncts, every unary conjunct
+/// identical up to the variable.
+pub fn recognize(f: &Formula) -> Option<IndependenceSentence> {
+    // Peel quantifiers.
+    let mut vars = Vec::new();
+    let mut body = f;
+    while let Formula::Exists(v, inner) = body {
+        vars.push(*v);
+        body = inner;
+    }
+    if vars.is_empty() {
+        return None;
+    }
+    let conjuncts: Vec<&Formula> = match body {
+        Formula::And(cs) => cs.iter().collect(),
+        other => vec![other],
+    };
+    let mut radius: Option<u32> = None;
+    let mut far_pairs = Vec::new();
+    let mut unary: Vec<(VarId, Formula)> = Vec::new();
+    for c in conjuncts {
+        match c {
+            Formula::Not(inner) => {
+                if let Formula::DistLe(x, y, d) = inner.as_ref() {
+                    if vars.contains(x) && vars.contains(y) && x != y {
+                        if radius.is_some_and(|r| r != *d) {
+                            return None; // mixed radii
+                        }
+                        radius = Some(*d);
+                        far_pairs.push((*x.min(y), *x.max(y)));
+                        continue;
+                    }
+                }
+                // A negated unary conjunct.
+                let fv = c.free_vars();
+                if fv.len() == 1 && vars.contains(&fv[0]) {
+                    unary.push((fv[0], c.clone()));
+                    continue;
+                }
+                return None;
+            }
+            other => {
+                let fv = other.free_vars();
+                if fv.len() == 1 && vars.contains(&fv[0]) && other.quantifier_rank() == 0 {
+                    unary.push((fv[0], other.clone()));
+                    continue;
+                }
+                return None;
+            }
+        }
+    }
+    let radius = radius?;
+    // All pairs must be far-constrained.
+    let k = vars.len();
+    if far_pairs.len() != k * (k - 1) / 2 {
+        return None;
+    }
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let (a, b) = (vars[i].min(vars[j]), vars[i].max(vars[j]));
+            if !far_pairs.contains(&(a, b)) {
+                return None;
+            }
+        }
+    }
+    // The unary property must be the same for every variable (up to the
+    // variable name). Collect per-variable conjunctions and compare after
+    // renaming to a canonical variable.
+    let canon = VarId(u32::MAX);
+    let mut per_var: Vec<Formula> = Vec::with_capacity(k);
+    for &v in &vars {
+        let parts: Vec<Formula> = unary
+            .iter()
+            .filter(|(w, _)| *w == v)
+            .map(|(_, f2)| f2.rename(&|x| if x == v { canon } else { x }))
+            .collect();
+        per_var.push(Formula::and(parts));
+    }
+    if per_var.windows(2).any(|w| w[0] != w[1]) {
+        return None;
+    }
+    Some(IndependenceSentence {
+        count: k,
+        radius,
+        psi: per_var.into_iter().next().unwrap(),
+        var: canon,
+    })
+}
+
+/// Decide an independence sentence over `g`, given the (sorted) witness
+/// list `L = ψ(G)`.
+pub fn holds(g: &ColoredGraph, sentence: &IndependenceSentence, witnesses: &[Vertex]) -> bool {
+    let k = sentence.count;
+    let r = sentence.radius;
+    if k == 0 {
+        return true;
+    }
+    if witnesses.len() < k {
+        return false;
+    }
+    // Step 1: greedy maximal r-scattered subset of L (stop early at k).
+    let mut scratch = BfsScratch::new(g.n());
+    let mut blocked = vec![false; g.n()];
+    let mut greedy: Vec<Vertex> = Vec::new();
+    for &v in witnesses {
+        if blocked[v as usize] {
+            continue;
+        }
+        greedy.push(v);
+        if greedy.len() >= k {
+            return true; // greedy picks are pairwise > r apart
+        }
+        scratch.run(g, v, r);
+        for &w in scratch.reached() {
+            blocked[w as usize] = true;
+        }
+    }
+    // Step 2: kernelize — every witness is within r of some greedy pick,
+    // so a solution lives in the union of their r-balls.
+    let mut candidates: Vec<Vertex> = Vec::new();
+    for &s in &greedy {
+        scratch.run(g, s, r);
+        for &w in scratch.reached() {
+            if witnesses.binary_search(&w).is_ok() {
+                candidates.push(w);
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    // Step 3: exact bounded search over the kernel. Each pick runs one BFS
+    // and filters the remaining candidates to those still compatible —
+    // large radii shrink the candidate list drastically per level, which
+    // keeps hard (negative) instances tractable.
+    search(g, &candidates, r, k, &mut scratch)
+}
+
+fn search(
+    g: &ColoredGraph,
+    candidates: &[Vertex],
+    r: u32,
+    need: usize,
+    scratch: &mut BfsScratch,
+) -> bool {
+    if need == 0 {
+        return true;
+    }
+    if candidates.len() < need {
+        return false;
+    }
+    for (idx, &v) in candidates.iter().enumerate() {
+        if candidates.len() - idx < need {
+            return false;
+        }
+        scratch.run(g, v, r);
+        let rest: Vec<Vertex> = candidates[idx + 1..]
+            .iter()
+            .copied()
+            .filter(|&w| scratch.dist(w) == nd_graph::bfs::UNREACHED)
+            .collect();
+        if search(g, &rest, r, need - 1, scratch) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_graph::generators;
+    use nd_logic::eval::eval;
+    use nd_logic::locality::evaluate_unary;
+    use nd_logic::{parse_query, Query};
+
+    fn check(g: &ColoredGraph, src: &str) {
+        let q = parse_query(src).unwrap();
+        assert_eq!(q.arity(), 0, "test sentence must be boolean");
+        let sentence = recognize(&q.formula)
+            .unwrap_or_else(|| panic!("{src} should be recognized as independence"));
+        let witnesses = evaluate_unary(g, &sentence.psi, sentence.var);
+        let fast = holds(g, &sentence, &witnesses);
+        let slow = eval(g, &Query::new(q.formula.clone(), vec![]), &[]);
+        assert_eq!(fast, slow, "sentence {src}");
+    }
+
+    fn blue_every(n: usize, step: usize) -> ColoredGraph {
+        let mut g = generators::path(n);
+        g.add_color(
+            (0..n as Vertex).filter(|v| v % step as u32 == 0).collect(),
+            Some("Blue".into()),
+        );
+        g
+    }
+
+    #[test]
+    fn recognizer_accepts_standard_shapes() {
+        let q = parse_query(
+            "exists x. exists y. (dist(x,y) > 3 && Blue(x) && Blue(y))",
+        )
+        .unwrap();
+        let s = recognize(&q.formula).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.radius, 3);
+
+        let q = parse_query(
+            "exists x. exists y. exists z. (dist(x,y) > 2 && dist(x,z) > 2 && dist(y,z) > 2)",
+        )
+        .unwrap();
+        let s = recognize(&q.formula).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.psi, Formula::True);
+    }
+
+    #[test]
+    fn recognizer_rejects_non_independence() {
+        for src in [
+            "exists x. exists y. (dist(x,y) <= 2 && Blue(x))",      // close, not far
+            "exists x. exists y. (dist(x,y) > 2 && Blue(x))",       // asymmetric ψ
+            "exists x. exists y. (dist(x,y) > 2 && dist(x,y) > 3 && Blue(x) && Blue(y))", // mixed radii... same pair twice
+            "exists x. exists y. exists z. (dist(x,y) > 2 && Blue(x) && Blue(y) && Blue(z))", // missing pair
+        ] {
+            let q = parse_query(src).unwrap();
+            assert!(recognize(&q.formula).is_none(), "{src}");
+        }
+    }
+
+    #[test]
+    fn decision_matches_naive_on_paths() {
+        let g = blue_every(40, 5);
+        check(&g, "exists x. exists y. (dist(x,y) > 3 && Blue(x) && Blue(y))");
+        check(&g, "exists x. exists y. (dist(x,y) > 38 && Blue(x) && Blue(y))");
+        check(
+            &g,
+            "exists x. exists y. exists z. (dist(x,y) > 10 && dist(x,z) > 10 && dist(y,z) > 10 && Blue(x) && Blue(y) && Blue(z))",
+        );
+        // Impossible: needs 3 witnesses pairwise > 20 apart on a 40-path.
+        check(
+            &g,
+            "exists x. exists y. exists z. (dist(x,y) > 20 && dist(x,z) > 20 && dist(y,z) > 20 && Blue(x) && Blue(y) && Blue(z))",
+        );
+    }
+
+    #[test]
+    fn decision_on_grids_and_trees() {
+        let mut g = generators::grid(8, 8);
+        g.add_color(vec![0, 7, 56, 63, 27], Some("Blue".into()));
+        check(&g, "exists x. exists y. (dist(x,y) > 9 && Blue(x) && Blue(y))");
+        check(&g, "exists x. exists y. (dist(x,y) > 13 && Blue(x) && Blue(y))");
+        check(
+            &g,
+            "exists x. exists y. exists z. (dist(x,y) > 6 && dist(x,z) > 6 && dist(y,z) > 6 && Blue(x) && Blue(y) && Blue(z))",
+        );
+
+        let mut t = generators::binary_tree(63);
+        t.add_color((0..63).collect(), Some("Blue".into()));
+        check(&t, "exists x. exists y. (dist(x,y) > 8 && Blue(x) && Blue(y))");
+    }
+
+    #[test]
+    fn greedy_shortcut_on_abundant_witnesses() {
+        // Many far-apart witnesses: the greedy pass must decide instantly.
+        let g = blue_every(10_000, 7);
+        let q = parse_query(
+            "exists x. exists y. exists z. (dist(x,y) > 5 && dist(x,z) > 5 && dist(y,z) > 5 && Blue(x) && Blue(y) && Blue(z))",
+        )
+        .unwrap();
+        let s = recognize(&q.formula).unwrap();
+        let witnesses: Vec<Vertex> = (0..10_000).filter(|v| v % 7 == 0).collect();
+        assert!(holds(&g, &s, &witnesses));
+    }
+
+    #[test]
+    fn kernelized_search_handles_tight_cases() {
+        // Witnesses clustered in one ball: greedy finds 1, kernel search
+        // must correctly reject.
+        let mut g = generators::star(50);
+        g.add_color((1..=10).collect(), Some("Blue".into()));
+        check(&g, "exists x. exists y. (dist(x,y) > 2 && Blue(x) && Blue(y))");
+        // Leaves are pairwise at distance exactly 2: > 1 holds.
+        check(&g, "exists x. exists y. (dist(x,y) > 1 && Blue(x) && Blue(y))");
+    }
+}

@@ -1,0 +1,338 @@
+//! The **Removal Lemma** (Lemma 5.5): rewriting a query when one node is
+//! deleted from the graph.
+//!
+//! Given a colored graph `G`, an FO⁺ query `φ(z̄)`, a subset `ȳ ⊆ z̄` of its
+//! free variables, and a node `s`, produce a recolored graph `H` on
+//! `V ∖ {s}` and a query `φ'(z̄ ∖ ȳ)` such that for all tuples `b̄` whose
+//! `s`-positions are exactly the `ȳ`-positions,
+//!
+//! ```text
+//! G ⊨ φ(b̄)   ⟺   H ⊨ φ'(b̄ ∖ ȳ)
+//! ```
+//!
+//! The recoloring adds, for each distance bound `i` up to the largest
+//! distance constant of `φ` (at least 1, to absorb edge atoms), the color
+//! `{w : dist_G(w, s) ≤ i}` — one BFS from `s`. The rewriting then
+//!
+//! * substitutes `s` into atoms (edges/distances to `s` become the new
+//!   colors; equalities become constants),
+//! * compensates for paths through the deleted node: `dist_G(x,y) ≤ d`
+//!   becomes `dist_H(x,y) ≤ d ∨ ⋁_{i+j≤d} (D_i(x) ∧ D_j(y))`,
+//! * splits every quantifier into its `H`-part and its `v := s` instance:
+//!   `∃v ψ ↦ ∃v ψ' ∨ ψ'[v:=s]` (dually for `∀`).
+//!
+//! Quantifier rank and distance constants — hence `q`-rank — are preserved,
+//! exactly as Lemma 5.5 requires; the formula may grow by a factor `2^{qr}`,
+//! which is a function of the query only.
+
+use nd_logic::ast::{ColorRef, Formula, VarId};
+use nd_graph::{BfsScratch, ColoredGraph, InducedSubgraph, Vertex};
+use std::collections::BTreeSet;
+
+/// Output of the removal rewriting.
+pub struct Removal {
+    /// `H`: the recolored graph on `V ∖ {s}` (vertex ids compressed).
+    pub graph: ColoredGraph,
+    /// The rewritten query `φ'` over `H` (color references by id).
+    pub formula: Formula,
+    /// The removed node (in `G`'s ids).
+    pub s: Vertex,
+    /// `@dist_s_i` color ids, index `i-1` holds radius `i`.
+    pub dist_colors: Vec<ColorRef>,
+}
+
+impl Removal {
+    /// Translate a `G`-vertex (≠ `s`) to its `H` id.
+    pub fn to_h(&self, v: Vertex) -> Option<Vertex> {
+        match v.cmp(&self.s) {
+            std::cmp::Ordering::Less => Some(v),
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some(v - 1),
+        }
+    }
+
+    /// Translate an `H`-vertex back to `G`.
+    pub fn to_g(&self, v: Vertex) -> Vertex {
+        if v < self.s {
+            v
+        } else {
+            v + 1
+        }
+    }
+}
+
+/// Apply the Removal Lemma: remove `s` from `g`, rewriting `φ` with the
+/// variables of `y_vars` pinned to `s`.
+pub fn remove_node(g: &ColoredGraph, phi: &Formula, y_vars: &[VarId], s: Vertex) -> Removal {
+    let max_d = phi.max_dist_atom().max(1);
+
+    // H = G[V ∖ {s}] with all original colors restricted, plus the distance
+    // colors D_1 … D_max_d.
+    let verts: Vec<Vertex> = (0..g.n() as Vertex).filter(|&v| v != s).collect();
+    let sub = InducedSubgraph::new(g, &verts);
+    let mut h = sub.graph;
+    let mut scratch = BfsScratch::new(g.n());
+    scratch.run(g, s, max_d);
+    let mut dist_colors = Vec::with_capacity(max_d as usize);
+    for i in 1..=max_d {
+        let members: Vec<Vertex> = verts
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| scratch.dist(w) != nd_graph::bfs::UNREACHED && scratch.dist(w) <= i)
+            .map(|(lw, _)| lw as Vertex)
+            .collect();
+        let id = h.add_color(members, Some(format!("@rm{s}_dist{i}")));
+        dist_colors.push(ColorRef::Id(id.0));
+    }
+
+    let pinned: BTreeSet<VarId> = y_vars.iter().copied().collect();
+    let rw = Rewriter {
+        g,
+        s,
+        dist_colors: &dist_colors,
+    };
+    let formula = rw.elim(phi, &pinned);
+
+    Removal {
+        graph: h,
+        formula,
+        s,
+        dist_colors,
+    }
+}
+
+struct Rewriter<'g> {
+    g: &'g ColoredGraph,
+    s: Vertex,
+    dist_colors: &'g [ColorRef],
+}
+
+impl Rewriter<'_> {
+    /// `D_i(x)`: `dist_G(x, s) ≤ i` as a color atom of `H`.
+    fn dist_color(&self, i: u32, x: VarId) -> Formula {
+        debug_assert!(i >= 1 && (i as usize) <= self.dist_colors.len());
+        Formula::Color(self.dist_colors[i as usize - 1].clone(), x)
+    }
+
+    fn elim(&self, f: &Formula, pinned: &BTreeSet<VarId>) -> Formula {
+        let is_s = |v: &VarId| pinned.contains(v);
+        match f {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Edge(x, y) => match (is_s(x), is_s(y)) {
+                (true, true) => Formula::False, // no self-loops
+                (true, false) => self.dist_color(1, *y),
+                (false, true) => self.dist_color(1, *x),
+                (false, false) => Formula::Edge(*x, *y),
+            },
+            Formula::Eq(x, y) => match (is_s(x), is_s(y)) {
+                (true, true) => Formula::True,
+                // The surviving variable ranges over V ∖ {s}.
+                (true, false) | (false, true) => Formula::False,
+                (false, false) => Formula::Eq(*x, *y),
+            },
+            Formula::DistLe(x, y, d) => match (is_s(x), is_s(y)) {
+                (true, true) => Formula::True,
+                (true, false) => {
+                    if *d == 0 {
+                        Formula::False
+                    } else {
+                        self.dist_color(*d, *y)
+                    }
+                }
+                (false, true) => {
+                    if *d == 0 {
+                        Formula::False
+                    } else {
+                        self.dist_color(*d, *x)
+                    }
+                }
+                (false, false) => {
+                    // Either a path inside H, or a path through s.
+                    let mut parts = vec![Formula::DistLe(*x, *y, *d)];
+                    for i in 1..*d {
+                        let j = *d - i;
+                        parts.push(Formula::and([
+                            self.dist_color(i, *x),
+                            self.dist_color(j, *y),
+                        ]));
+                    }
+                    Formula::or(parts)
+                }
+            },
+            Formula::Color(c, x) => {
+                if is_s(x) {
+                    let holds = match c {
+                        ColorRef::Id(i) => self.g.has_color(self.s, nd_graph::ColorId(*i)),
+                        ColorRef::Named(name) => self
+                            .g
+                            .color_by_name(name)
+                            .is_some_and(|cid| self.g.has_color(self.s, cid)),
+                    };
+                    if holds {
+                        Formula::True
+                    } else {
+                        Formula::False
+                    }
+                } else {
+                    Formula::Color(c.clone(), *x)
+                }
+            }
+            Formula::Rel(name, _) => {
+                panic!("relational atom {name} must be rewritten away before removal")
+            }
+            Formula::Not(inner) => Formula::Not(Box::new(self.elim(inner, pinned))),
+            Formula::And(fs) => Formula::and(fs.iter().map(|g2| self.elim(g2, pinned))),
+            Formula::Or(fs) => Formula::or(fs.iter().map(|g2| self.elim(g2, pinned))),
+            Formula::Exists(v, body) => {
+                // ∃v over V  =  (∃v over V∖{s})  ∨  body[v := s].
+                let h_branch = Formula::Exists(*v, Box::new(self.elim(body, pinned)));
+                let mut pinned_s = pinned.clone();
+                pinned_s.insert(*v);
+                let s_branch = self.elim(body, &pinned_s);
+                Formula::or([h_branch, s_branch])
+            }
+            Formula::Forall(v, body) => {
+                let h_branch = Formula::Forall(*v, Box::new(self.elim(body, pinned)));
+                let mut pinned_s = pinned.clone();
+                pinned_s.insert(*v);
+                let s_branch = self.elim(body, &pinned_s);
+                Formula::and([h_branch, s_branch])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_logic::ast::Query;
+    use nd_logic::eval::eval;
+    use nd_logic::parse_query;
+    use nd_graph::generators;
+
+    /// Exhaustive equivalence check of the lemma's guarantee over all
+    /// tuples, all choices of ȳ ⊆ z̄, and several removal nodes.
+    fn check(g: &ColoredGraph, src: &str, removals: &[Vertex]) {
+        let q = parse_query(src).unwrap();
+        let k = q.arity();
+        for &s in removals {
+            for mask in 0..(1u32 << k) {
+                let y_vars: Vec<VarId> = (0..k)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| q.free[i])
+                    .collect();
+                let removal = remove_node(g, &q.formula, &y_vars, s);
+                let surviving: Vec<VarId> = q
+                    .free
+                    .iter()
+                    .copied()
+                    .filter(|v| !y_vars.contains(v))
+                    .collect();
+                let q_prime = Query::new(removal.formula.clone(), surviving.clone());
+
+                // Enumerate all G-tuples whose s-positions are exactly ȳ.
+                let mut tuple = vec![0 as Vertex; k];
+                check_rec(g, &q, &removal, &q_prime, mask, &mut tuple, 0, s);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_rec(
+        g: &ColoredGraph,
+        q: &Query,
+        removal: &Removal,
+        q_prime: &Query,
+        mask: u32,
+        tuple: &mut Vec<Vertex>,
+        pos: usize,
+        s: Vertex,
+    ) {
+        if pos == tuple.len() {
+            let want = eval(g, q, tuple);
+            let h_tuple: Vec<Vertex> = tuple
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 0)
+                .map(|(_, &b)| removal.to_h(b).unwrap())
+                .collect();
+            let got = eval(&removal.graph, q_prime, &h_tuple);
+            assert_eq!(got, want, "tuple {tuple:?}, s={s}, mask={mask:b}");
+            return;
+        }
+        if mask >> pos & 1 == 1 {
+            tuple[pos] = s;
+            check_rec(g, q, removal, q_prime, mask, tuple, pos + 1, s);
+        } else {
+            for b in 0..g.n() as Vertex {
+                if b == s {
+                    continue;
+                }
+                tuple[pos] = b;
+                check_rec(g, q, removal, q_prime, mask, tuple, pos + 1, s);
+            }
+        }
+    }
+
+    fn small_colored() -> ColoredGraph {
+        let mut g = generators::cycle(8);
+        g.add_color(vec![0, 3, 5], Some("Blue".into()));
+        g
+    }
+
+    #[test]
+    fn edge_and_equality_atoms() {
+        check(&small_colored(), "E(x, y)", &[0, 4]);
+        check(&small_colored(), "x = y", &[2]);
+    }
+
+    #[test]
+    fn distance_atoms_path_through_s() {
+        // Removing a cut vertex of the path: distances must be compensated
+        // by the D_i colors.
+        let g = generators::path(9);
+        check(&g, "dist(x, y) <= 3", &[4, 0, 8]);
+        check(&g, "dist(x, y) > 2", &[3]);
+    }
+
+    #[test]
+    fn colors_and_connectives() {
+        check(
+            &small_colored(),
+            "Blue(x) && (E(x, y) || dist(x, y) <= 2)",
+            &[3, 6],
+        );
+    }
+
+    #[test]
+    fn quantifier_splitting() {
+        check(&small_colored(), "exists z. (E(x, z) && E(z, y))", &[1, 5]);
+        check(&small_colored(), "forall z. (!E(x, z) || Blue(z)) && x = x", &[0]);
+    }
+
+    #[test]
+    fn q_rank_is_preserved() {
+        let g = generators::path(6);
+        let q = parse_query("exists z. (dist(x, z) <= 4 && E(z, y))").unwrap();
+        let removal = remove_node(&g, &q.formula, &[], 3);
+        assert_eq!(
+            removal.formula.quantifier_rank(),
+            q.formula.quantifier_rank()
+        );
+        assert!(removal.formula.max_dist_atom() <= q.formula.max_dist_atom());
+    }
+
+    #[test]
+    fn id_translation() {
+        let g = generators::path(5);
+        let r = remove_node(&g, &Formula::True, &[], 2);
+        assert_eq!(r.to_h(1), Some(1));
+        assert_eq!(r.to_h(2), None);
+        assert_eq!(r.to_h(3), Some(2));
+        assert_eq!(r.to_g(2), 3);
+        assert_eq!(r.graph.n(), 4);
+        // Path 0-1-2-3-4 minus vertex 2 = two segments.
+        assert_eq!(r.graph.m(), 2);
+    }
+}

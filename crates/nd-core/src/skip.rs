@@ -1,0 +1,410 @@
+//! Skip pointers (**Lemma 5.8**).
+//!
+//! Given a graph `G`, an `r`-neighborhood cover `X` with kernels
+//! `K_r(X)`, and a target list `L ⊆ V`, the structure answers in constant
+//! time, for any vertex `b` and any set `S` of at most `k` bags,
+//!
+//! ```text
+//! SKIP(b, S) = min { b' ∈ L : b' ≥ b  ∧  b' ∉ ⋃_{X ∈ S} K_r(X) }
+//! ```
+//!
+//! i.e. the next list member that escapes every kernel of `S`. Because a
+//! vertex outside `K_r(X(a))` is guaranteed to be at distance `> r` from `a`
+//! (when the cover radius is at least `2r`), this is what lets the
+//! answering phase jump over entire "too close to the prefix" regions in
+//! `O(1)` — the heart of constant delay for far-apart answer tuples.
+//!
+//! The full `SKIP` table is quadratic, so only the closure `SC(b)` of
+//! "reachable" bag sets is materialized (Claims 5.9/5.10): `{X} ∈ SC(b)`
+//! for every kernel containing `b`, and `S ∪ {Y} ∈ SC(b)` whenever
+//! `S ∈ SC(b)`, `|S| < k` and `SKIP(b, S) ∈ K_r(Y)`. Per vertex this is
+//! `O(δ^k)` sets (`δ` = kernel degree), keeping the table pseudo-linear.
+//! Arbitrary queries are then answered by the constant-time reduction of
+//! Claim 5.9.
+
+use nd_cover::{BagId, KernelIndex};
+use nd_graph::Vertex;
+use std::collections::HashMap;
+
+/// A sorted, deduplicated set of at most 4 bag ids packed into one `u128`
+/// (32 bits per id, most significant first, padded with all-ones) — a
+/// `Copy` table key, so building and probing the table never allocates.
+type BagSet = u128;
+
+const MAX_SET: usize = 4;
+const EMPTY_SLOT: u32 = u32::MAX;
+
+#[inline]
+fn encode_set(s: &[BagId]) -> BagSet {
+    debug_assert!(s.len() <= MAX_SET);
+    debug_assert!(s.windows(2).all(|w| w[0] < w[1]));
+    let mut out: u128 = 0;
+    for i in 0..MAX_SET {
+        let v = s.get(i).copied().unwrap_or(EMPTY_SLOT);
+        out = (out << 32) | v as u128;
+    }
+    out
+}
+
+/// Insert `y` into a sorted fixed-capacity set; no-op if present. Returns
+/// `None` when the set is full.
+#[inline]
+fn set_with(s: &[BagId], y: BagId) -> Option<Vec<BagId>> {
+    if s.len() >= MAX_SET {
+        return None;
+    }
+    match s.binary_search(&y) {
+        Ok(_) => Some(s.to_vec()),
+        Err(pos) => {
+            let mut out = Vec::with_capacity(s.len() + 1);
+            out.extend_from_slice(&s[..pos]);
+            out.push(y);
+            out.extend_from_slice(&s[pos..]);
+            Some(out)
+        }
+    }
+}
+
+/// The Lemma 5.8 structure.
+pub struct SkipPointers {
+    k: usize,
+    n: usize,
+    /// Sorted target list `L`.
+    list: Vec<Vertex>,
+    in_list: Vec<bool>,
+    /// `next_in_list[v]`: smallest member of `L` strictly greater than `v`.
+    next_in_list: Vec<Option<Vertex>>,
+    /// `SKIP(b, S)` for all `S ∈ SC(b)`.
+    table: HashMap<(Vertex, BagSet), Option<Vertex>>,
+    /// When the `δ^k` closure would exceed this many entries (kernel
+    /// degrees blow up on expander-like inputs), the closure is truncated;
+    /// queries stay correct via a linear-scan fallback.
+    truncated: bool,
+}
+
+impl SkipPointers {
+    /// Precompute the pointers for up to `k` simultaneous bags.
+    /// Cost `O(n · δ^k)` table entries, each `O(1)` amortized.
+    pub fn build(n: usize, kernels: &KernelIndex, list: Vec<Vertex>, k: usize) -> SkipPointers {
+        Self::build_with_cap(n, kernels, list, k, usize::MAX)
+    }
+
+    /// [`Self::build`] with a table-size cap. Past the cap no further bag
+    /// sets are tabulated; `skip` degrades to a correct scan when it needs
+    /// an untabulated set.
+    pub fn build_with_cap(
+        n: usize,
+        kernels: &KernelIndex,
+        mut list: Vec<Vertex>,
+        k: usize,
+        max_entries: usize,
+    ) -> SkipPointers {
+        assert!((1..=MAX_SET).contains(&k), "k must be in 1..=4");
+        list.sort_unstable();
+        list.dedup();
+        let mut in_list = vec![false; n];
+        for &v in &list {
+            in_list[v as usize] = true;
+        }
+        let mut next_in_list: Vec<Option<Vertex>> = vec![None; n];
+        {
+            let mut next = None;
+            for v in (0..n).rev() {
+                next_in_list[v] = next;
+                if in_list[v] {
+                    next = Some(v as Vertex);
+                }
+            }
+        }
+        let mut sp = SkipPointers {
+            k,
+            n,
+            list,
+            in_list,
+            next_in_list,
+            table: HashMap::new(),
+            truncated: false,
+        };
+        // Claim 5.10: compute SKIP(b, S) for S ∈ SC(b), b descending, sets
+        // in breadth-first (size) order.
+        'outer: for b in (0..n as Vertex).rev() {
+            let mut queue: Vec<Vec<BagId>> = kernels
+                .kernel_bags_of(b)
+                .iter()
+                .map(|&x| vec![x])
+                .collect();
+            let mut head = 0;
+            while head < queue.len() {
+                let s = std::mem::take(&mut queue[head]);
+                head += 1;
+                let key = (b, encode_set(&s));
+                if sp.table.contains_key(&key) {
+                    continue;
+                }
+                if sp.table.len() >= max_entries {
+                    sp.truncated = true;
+                    break 'outer;
+                }
+                let skip = sp.compute_skip(kernels, b, &s);
+                sp.table.insert(key, skip);
+                if s.len() < k {
+                    if let Some(v) = skip {
+                        for &y in kernels.kernel_bags_of(v) {
+                            if s.binary_search(&y).is_err() {
+                                if let Some(bigger) = set_with(&s, y) {
+                                    queue.push(bigger);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sp
+    }
+
+    /// Number of precomputed table entries (experiment E8: `O(n·δ^k)`).
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Was the closure truncated at the size cap (queries then use the
+    /// scan fallback when they step outside the tabulated sets)?
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The sorted target list `L`.
+    pub fn list(&self) -> &[Vertex] {
+        &self.list
+    }
+
+    /// `SKIP(b, S)` for an arbitrary set `S` of at most `k` bags
+    /// (Claim 5.9). Constant time.
+    pub fn skip(&self, kernels: &KernelIndex, b: Vertex, bags: &[BagId]) -> Option<Vertex> {
+        let mut s: Vec<BagId> = bags.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert!(s.len() <= self.k, "set larger than the prepared k");
+        self.compute_skip(kernels, b, &s)
+    }
+
+    /// The Claim 5.9 case analysis. Uses only `next_in_list` and table
+    /// entries for vertices `> b`, which is what makes the descending
+    /// construction of Claim 5.10 well-founded.
+    fn compute_skip(&self, kernels: &KernelIndex, b: Vertex, s: &[BagId]) -> Option<Vertex> {
+        debug_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        // Case 1: b itself qualifies.
+        if self.in_list[b as usize] && s.iter().all(|&x| !kernels.in_kernel(x, b)) {
+            return Some(b);
+        }
+        // Case 2: move to the next list element c > b.
+        let c = self.next_in_list[b as usize]?;
+        let blocking: Vec<BagId> = s
+            .iter()
+            .copied()
+            .filter(|&x| kernels.in_kernel(x, c))
+            .collect();
+        if blocking.is_empty() {
+            return Some(c);
+        }
+        // Grow a maximal S' ⊆ S with S' ∈ SC(c), starting from a singleton
+        // {X} with c ∈ K_r(X) (which is in SC(c) by construction).
+        let mut s_prime: Vec<BagId> = vec![blocking[0]];
+        let mut grew = true;
+        while grew && s_prime.len() < s.len() {
+            grew = false;
+            for &y in s {
+                if s_prime.binary_search(&y).is_err() {
+                    if let Some(candidate) = set_with(&s_prime, y) {
+                        if self.table.contains_key(&(c, encode_set(&candidate))) {
+                            s_prime = candidate;
+                            grew = true;
+                        }
+                    }
+                }
+            }
+        }
+        match self.table.get(&(c, encode_set(&s_prime))) {
+            Some(v) => *v,
+            // Only possible when the table was truncated at the size cap:
+            // fall back to a correct linear scan of L.
+            None => {
+                debug_assert!(self.truncated, "untruncated table missed an SC entry");
+                self.scan_fallback(kernels, c, s)
+            }
+        }
+    }
+
+    /// Correct (but linear) fallback used only past the table cap.
+    fn scan_fallback(
+        &self,
+        kernels: &KernelIndex,
+        from: Vertex,
+        s: &[BagId],
+    ) -> Option<Vertex> {
+        let mut cur = if self.in_list[from as usize] {
+            Some(from)
+        } else {
+            self.next_in_list[from as usize]
+        };
+        while let Some(v) = cur {
+            if s.iter().all(|&x| !kernels.in_kernel(x, v)) {
+                return Some(v);
+            }
+            cur = self.next_in_list[v as usize];
+        }
+        None
+    }
+
+    /// Exhaustive reference implementation for tests.
+    #[doc(hidden)]
+    pub fn skip_naive(&self, kernels: &KernelIndex, b: Vertex, bags: &[BagId]) -> Option<Vertex> {
+        self.list
+            .iter()
+            .copied()
+            .filter(|&v| v >= b)
+            .find(|&v| bags.iter().all(|&x| !kernels.in_kernel(x, v)))
+    }
+
+    /// Memory guard used by stats: n of the underlying graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_cover::Cover;
+    use nd_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn setup(
+        g: &nd_graph::ColoredGraph,
+        r: u32,
+        list: Vec<Vertex>,
+        k: usize,
+    ) -> (KernelIndex, SkipPointers) {
+        // Cover radius 2r so that "outside K_r" implies "distance > r" —
+        // mirroring the kr-radius cover of Section 5.
+        let cover = Cover::build(g, 2 * r, 0.5);
+        let kernels = KernelIndex::build(g, &cover, r);
+        let sp = SkipPointers::build(g.n(), &kernels, list, k);
+        (kernels, sp)
+    }
+
+    fn random_bagsets(kernels: &KernelIndex, n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<BagId>> {
+        let mut out = Vec::new();
+        for _ in 0..60 {
+            let mut s = Vec::new();
+            for _ in 0..k {
+                // Bias towards kernels of random vertices so sets are
+                // non-trivial.
+                let v = rng.random_range(0..n as Vertex);
+                let kb = kernels.kernel_bags_of(v);
+                if !kb.is_empty() {
+                    s.push(kb[rng.random_range(0..kb.len())]);
+                }
+            }
+            s.sort_unstable();
+            s.dedup();
+            if !s.is_empty() {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn skip_matches_naive_scan() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for (g, r, k) in [
+            (generators::path(80), 2u32, 2usize),
+            (generators::grid(9, 9), 1, 2),
+            (generators::random_tree(100, 3), 2, 3),
+            (generators::bounded_degree(120, 4, 1), 2, 2),
+        ] {
+            let list: Vec<Vertex> = (0..g.n() as Vertex).filter(|v| v % 3 != 1).collect();
+            let (kernels, sp) = setup(&g, r, list, k);
+            for bags in random_bagsets(&kernels, g.n(), k, &mut rng) {
+                for probe in 0..g.n() as Vertex {
+                    assert_eq!(
+                        sp.skip(&kernels, probe, &bags),
+                        sp.skip_naive(&kernels, probe, &bags),
+                        "b={probe}, S={bags:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_list() {
+        let g = generators::path(20);
+        let (kernels, sp) = setup(&g, 2, vec![], 2);
+        assert_eq!(sp.skip(&kernels, 0, &[0]), None);
+    }
+
+    #[test]
+    fn full_list_no_bags_is_identity_successor() {
+        let g = generators::cycle(30);
+        let list: Vec<Vertex> = (0..30).collect();
+        let (kernels, sp) = setup(&g, 1, list, 2);
+        for b in 0..30 as Vertex {
+            assert_eq!(sp.skip(&kernels, b, &[]), Some(b));
+        }
+    }
+
+    #[test]
+    fn skipping_over_a_kernel_blocks_far_enough() {
+        // The guarantee the enumeration relies on: a skipped-to vertex is at
+        // distance > r from the kernel's assigned center vertex.
+        let g = generators::grid(12, 12);
+        let r = 2;
+        let cover = Cover::build(&g, 2 * r, 0.5);
+        let kernels = KernelIndex::build(&g, &cover, r);
+        let list: Vec<Vertex> = (0..g.n() as Vertex).collect();
+        let sp = SkipPointers::build(g.n(), &kernels, list, 2);
+        let mut scratch = nd_graph::BfsScratch::new(g.n());
+        for a in (0..g.n() as Vertex).step_by(13) {
+            let mut bags = kernels.kernel_bags_of(a).to_vec();
+            bags.truncate(2); // the structure was prepared for k = 2
+            if bags.is_empty() {
+                continue;
+            }
+            for b in (0..g.n() as Vertex).step_by(7) {
+                if let Some(v) = sp.skip(&kernels, b, &bags) {
+                    // v avoids every kernel around a, and X(a)'s kernel in
+                    // particular, so dist(a, v) > r.
+                    let close = scratch.distance_capped(&g, a, v, r).is_some();
+                    // a ∈ K_r(X(a)) always (cover radius 2r ≥ r); if v were
+                    // within distance r of a, then N_r(v) ⊆ N_2r(a) ⊆ X(a),
+                    // i.e. v ∈ K_r(X(a)) — contradiction.
+                    let xa = cover.bag_of(a);
+                    if bags.contains(&xa) {
+                        assert!(!close, "skip returned {v} too close to {a}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_obeys_the_claim_bound() {
+        // Claim 5.10: |SC(b)| = O(δ^k) per vertex, δ = kernel degree.
+        let g = generators::random_tree(400, 8);
+        let list: Vec<Vertex> = (0..g.n() as Vertex).collect();
+        let (kernels, sp) = setup(&g, 2, list, 2);
+        let delta = kernels.degree();
+        let bound = g.n() * (delta + 1).pow(2);
+        assert!(
+            sp.table_len() <= bound,
+            "table {} exceeds n·(δ+1)^k = {bound} (δ = {delta})",
+            sp.table_len()
+        );
+        // And it is far below the quadratic full table.
+        assert!(sp.table_len() < g.n() * g.n());
+    }
+}

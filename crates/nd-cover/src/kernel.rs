@@ -1,0 +1,189 @@
+//! Kernels of cover bags (Definition 5.6, Lemma 5.7).
+//!
+//! The `p`-kernel of a bag `X` is `K_p(X) = {a ∈ V : N_p(a) ⊆ X}` — the
+//! vertices whose whole `p`-ball stays inside the bag. Lemma 5.7 computes it
+//! in `O(p · ‖G[X]‖)`: a vertex is *outside* the kernel iff its distance to
+//! the complement of `X` is `≤ p`, and that distance is `1 +` the distance
+//! inside `G[X]` to the *boundary* (members of `X` with a neighbor outside),
+//! so a single multi-source BFS inside the bag suffices.
+
+use crate::{BagId, Cover};
+use nd_graph::{ColoredGraph, Vertex};
+
+/// Compute `K_p(X)` for the (sorted) bag `verts` of graph `g`.
+/// Cost `O(p · ‖G[X]‖)` as in Lemma 5.7 (local-index BFS, no hashing).
+pub fn kernel_of_bag(g: &ColoredGraph, verts: &[Vertex], p: u32) -> Vec<Vertex> {
+    debug_assert!(verts.windows(2).all(|w| w[0] < w[1]));
+    let local = |v: Vertex| verts.binary_search(&v).ok();
+    // dist-to-outside per bag-local index, capped at p+1; 0 = unvisited.
+    let mut dist = vec![0u32; verts.len()];
+    let mut queue: Vec<u32> = Vec::new();
+    for (i, &v) in verts.iter().enumerate() {
+        if g.neighbors(v).iter().any(|&w| local(w).is_none()) {
+            dist[i] = 1;
+            queue.push(i as u32);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        let du = dist[u];
+        if du > p {
+            continue;
+        }
+        for &w in g.neighbors(verts[u]) {
+            if let Some(lw) = local(w) {
+                if dist[lw] == 0 {
+                    dist[lw] = du + 1;
+                    queue.push(lw as u32);
+                }
+            }
+        }
+    }
+    verts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| dist[*i] == 0 || dist[*i] > p)
+        .map(|(_, &v)| v)
+        .collect()
+}
+
+/// Kernels of every bag of a cover at a fixed radius, with the inverted
+/// index `v ↦ {X : v ∈ K_p(X)}` needed by the skip pointers (Lemma 5.8).
+pub struct KernelIndex {
+    pub p: u32,
+    /// Per bag, the sorted kernel members.
+    kernels: Vec<Vec<Vertex>>,
+    /// Per vertex, the sorted bags whose kernel contains it.
+    kernel_bags_of: Vec<Vec<BagId>>,
+}
+
+impl KernelIndex {
+    /// Compute `K_p(X)` for every bag (total cost `O(p · Σ_X ‖G[X]‖)`).
+    pub fn build(g: &ColoredGraph, cover: &Cover, p: u32) -> KernelIndex {
+        let mut kernels = Vec::with_capacity(cover.num_bags());
+        let mut kernel_bags_of: Vec<Vec<BagId>> = vec![Vec::new(); g.n()];
+        for id in 0..cover.num_bags() as BagId {
+            let k = kernel_of_bag(g, &cover.bag(id).verts, p);
+            for &v in &k {
+                kernel_bags_of[v as usize].push(id);
+            }
+            kernels.push(k);
+        }
+        KernelIndex {
+            p,
+            kernels,
+            kernel_bags_of,
+        }
+    }
+
+    /// Sorted kernel of a bag.
+    pub fn kernel(&self, id: BagId) -> &[Vertex] {
+        &self.kernels[id as usize]
+    }
+
+    /// Is `v ∈ K_p(X_id)`? `O(log)`.
+    pub fn in_kernel(&self, id: BagId, v: Vertex) -> bool {
+        self.kernels[id as usize].binary_search(&v).is_ok()
+    }
+
+    /// Sorted bags whose kernel contains `v`.
+    pub fn kernel_bags_of(&self, v: Vertex) -> &[BagId] {
+        &self.kernel_bags_of[v as usize]
+    }
+
+    /// Maximum number of kernels meeting at a vertex (≤ cover degree).
+    pub fn degree(&self) -> usize {
+        self.kernel_bags_of.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_graph::bfs::BfsScratch;
+    use nd_graph::generators;
+
+    /// Brute-force kernel: check `N_p(a) ⊆ X` per vertex.
+    fn kernel_naive(g: &ColoredGraph, verts: &[Vertex], p: u32) -> Vec<Vertex> {
+        let mut scratch = BfsScratch::new(g.n());
+        verts
+            .iter()
+            .copied()
+            .filter(|&a| {
+                scratch
+                    .ball_sorted(g, a, p)
+                    .iter()
+                    .all(|b| verts.binary_search(b).is_ok())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_matches_naive() {
+        for (g, r, p) in [
+            (generators::path(40), 3u32, 2u32),
+            (generators::grid(9, 9), 2, 1),
+            (generators::grid(9, 9), 2, 2),
+            (generators::random_tree(60, 9), 3, 3),
+            (generators::bounded_degree(80, 4, 3), 2, 2),
+        ] {
+            let cover = Cover::build(&g, r, 0.5);
+            for id in 0..cover.num_bags() as BagId {
+                let verts = &cover.bag(id).verts;
+                assert_eq!(
+                    kernel_of_bag(&g, verts, p),
+                    kernel_naive(&g, verts, p),
+                    "bag {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn whole_graph_bag_kernel_is_everything() {
+        let g = generators::cycle(12);
+        let all: Vec<Vertex> = g.vertices().collect();
+        assert_eq!(kernel_of_bag(&g, &all, 5), all);
+    }
+
+    #[test]
+    fn p_zero_kernel_is_the_bag() {
+        // N_0(a) = {a} ⊆ X always.
+        let g = generators::grid(6, 6);
+        let cover = Cover::build(&g, 2, 0.5);
+        let verts = &cover.bag(0).verts;
+        assert_eq!(&kernel_of_bag(&g, verts, 0), verts);
+    }
+
+    #[test]
+    fn kernel_index_inversion() {
+        let g = generators::grid(8, 8);
+        let cover = Cover::build(&g, 2, 0.5);
+        let ki = KernelIndex::build(&g, &cover, 2);
+        for id in 0..cover.num_bags() as BagId {
+            for &v in ki.kernel(id) {
+                assert!(ki.kernel_bags_of(v).contains(&id));
+                assert!(ki.in_kernel(id, v));
+            }
+        }
+        for v in g.vertices() {
+            for &id in ki.kernel_bags_of(v) {
+                assert!(ki.in_kernel(id, v));
+            }
+        }
+        assert!(ki.degree() <= cover.degree());
+    }
+
+    #[test]
+    fn assigned_vertices_are_in_their_kernel_at_radius_r() {
+        // X(a) ⊇ N_r(a), hence a ∈ K_r(X(a)).
+        let g = generators::random_tree(100, 4);
+        let cover = Cover::build(&g, 2, 0.5);
+        let ki = KernelIndex::build(&g, &cover, 2);
+        for v in g.vertices() {
+            assert!(ki.in_kernel(cover.bag_of(v), v), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Bounded breadth-first search with reusable scratch buffers.
+//!
+//! Distances and neighborhoods (`N_r(v)`, Section 2 of the paper) are the
+//! workhorse of every preprocessing phase, so the scratch state is designed
+//! to be reused across many searches without reallocation: `dist` is a dense
+//! array reset lazily via the `touched` list.
+
+use crate::graph::{ColoredGraph, Vertex};
+
+/// Sentinel distance meaning "not reached".
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Reusable BFS state sized for a graph with `n` vertices.
+pub struct BfsScratch {
+    dist: Vec<u32>,
+    queue: Vec<Vertex>,
+    touched: Vec<Vertex>,
+}
+
+impl BfsScratch {
+    /// Scratch for graphs with at most `n` vertices.
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            dist: vec![UNREACHED; n],
+            queue: Vec::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Grow the scratch to cover `n` vertices if needed.
+    pub fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, UNREACHED);
+        }
+    }
+
+    /// Distance of `v` from the sources of the last search, or [`UNREACHED`].
+    #[inline]
+    pub fn dist(&self, v: Vertex) -> u32 {
+        self.dist[v as usize]
+    }
+
+    /// Vertices reached by the last search, in BFS (hence distance-monotone)
+    /// order. Sources come first.
+    #[inline]
+    pub fn reached(&self) -> &[Vertex] {
+        &self.touched
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = UNREACHED;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// Multi-source BFS from `sources` up to radius `r` (inclusive).
+    ///
+    /// After the call, [`Self::dist`] and [`Self::reached`] describe the ball
+    /// `N_r(sources)`.
+    pub fn run_multi(&mut self, g: &ColoredGraph, sources: &[Vertex], r: u32) {
+        self.ensure(g.n());
+        self.reset();
+        for &s in sources {
+            if self.dist[s as usize] == UNREACHED {
+                self.dist[s as usize] = 0;
+                self.queue.push(s);
+                self.touched.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            if du >= r {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if self.dist[w as usize] == UNREACHED {
+                    self.dist[w as usize] = du + 1;
+                    self.queue.push(w);
+                    self.touched.push(w);
+                }
+            }
+        }
+    }
+
+    /// Single-source bounded BFS.
+    pub fn run(&mut self, g: &ColoredGraph, source: Vertex, r: u32) {
+        self.run_multi(g, &[source], r);
+    }
+
+    /// Sorted vertex set of the ball `N_r(v)`.
+    pub fn ball_sorted(&mut self, g: &ColoredGraph, v: Vertex, r: u32) -> Vec<Vertex> {
+        self.run(g, v, r);
+        let mut out = self.touched.clone();
+        out.sort_unstable();
+        out
+    }
+
+    /// Distance between `a` and `b`, capped at `r` (returns `None` if the
+    /// distance exceeds `r`).
+    pub fn distance_capped(
+        &mut self,
+        g: &ColoredGraph,
+        a: Vertex,
+        b: Vertex,
+        r: u32,
+    ) -> Option<u32> {
+        if a == b {
+            return Some(0);
+        }
+        self.ensure(g.n());
+        self.reset();
+        self.dist[a as usize] = 0;
+        self.queue.push(a);
+        self.touched.push(a);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u as usize];
+            if du >= r {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if self.dist[w as usize] == UNREACHED {
+                    if w == b {
+                        return Some(du + 1);
+                    }
+                    self.dist[w as usize] = du + 1;
+                    self.queue.push(w);
+                    self.touched.push(w);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Convenience: sorted ball `N_r(v)` with a fresh scratch.
+pub fn ball(g: &ColoredGraph, v: Vertex, r: u32) -> Vec<Vertex> {
+    BfsScratch::new(g.n()).ball_sorted(g, v, r)
+}
+
+/// Convenience: `dist(a, b) ≤ r`?
+pub fn within_distance(g: &ColoredGraph, a: Vertex, b: Vertex, r: u32) -> bool {
+    BfsScratch::new(g.n()).distance_capped(g, a, b, r).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(6);
+        let mut s = BfsScratch::new(g.n());
+        s.run(&g, 0, 3);
+        assert_eq!(s.dist(0), 0);
+        assert_eq!(s.dist(3), 3);
+        assert_eq!(s.dist(4), UNREACHED);
+        assert_eq!(s.reached().len(), 4);
+    }
+
+    #[test]
+    fn multi_source() {
+        let g = generators::path(7);
+        let mut s = BfsScratch::new(g.n());
+        s.run_multi(&g, &[0, 6], 2);
+        assert_eq!(s.dist(2), 2);
+        assert_eq!(s.dist(4), 2);
+        assert_eq!(s.dist(3), UNREACHED);
+    }
+
+    #[test]
+    fn capped_distance() {
+        let g = generators::cycle(10);
+        let mut s = BfsScratch::new(g.n());
+        assert_eq!(s.distance_capped(&g, 0, 5, 10), Some(5));
+        assert_eq!(s.distance_capped(&g, 0, 7, 10), Some(3));
+        assert_eq!(s.distance_capped(&g, 0, 5, 4), None);
+        assert_eq!(s.distance_capped(&g, 3, 3, 0), Some(0));
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = generators::path(5);
+        let mut s = BfsScratch::new(g.n());
+        s.run(&g, 0, 4);
+        s.run(&g, 4, 1);
+        assert_eq!(s.dist(0), UNREACHED);
+        assert_eq!(s.dist(3), 1);
+        assert_eq!(s.dist(4), 0);
+    }
+
+    #[test]
+    fn ball_contents() {
+        let g = generators::grid(4, 4);
+        let b = ball(&g, 5, 1); // vertex (1,1)
+        assert_eq!(b, vec![1, 4, 5, 6, 9]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Connected components and simple connectivity utilities.
+//!
+//! The enumeration machinery treats each component independently (a cover
+//! bag never spans components), and several generators/tests need
+//! connectivity checks, so these live in the graph substrate.
+
+use crate::graph::{ColoredGraph, Vertex};
+
+/// Per-vertex component labels (`0..count`), labelled in order of each
+/// component's smallest vertex.
+pub struct Components {
+    pub count: usize,
+    labels: Vec<u32>,
+}
+
+impl Components {
+    /// Linear-time BFS labelling.
+    pub fn compute(g: &ColoredGraph) -> Components {
+        let n = g.n();
+        let mut labels = vec![u32::MAX; n];
+        let mut count = 0u32;
+        let mut queue = Vec::new();
+        for start in 0..n as Vertex {
+            if labels[start as usize] != u32::MAX {
+                continue;
+            }
+            labels[start as usize] = count;
+            queue.clear();
+            queue.push(start);
+            while let Some(u) = queue.pop() {
+                for &w in g.neighbors(u) {
+                    if labels[w as usize] == u32::MAX {
+                        labels[w as usize] = count;
+                        queue.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        Components {
+            count: count as usize,
+            labels,
+        }
+    }
+
+    /// The component label of `v`.
+    pub fn label(&self, v: Vertex) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Are `u` and `v` in the same component?
+    pub fn same(&self, u: Vertex, v: Vertex) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+
+    /// Members of each component, sorted.
+    pub fn members(&self) -> Vec<Vec<Vertex>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(v as Vertex);
+        }
+        out
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.members().iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Is the graph connected (vacuously true when empty)?
+pub fn is_connected(g: &ColoredGraph) -> bool {
+    Components::compute(g).count <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_is_connected() {
+        assert!(is_connected(&generators::path(10)));
+        assert!(is_connected(&generators::path(0)));
+        assert!(is_connected(&generators::path(1)));
+    }
+
+    #[test]
+    fn forest_components() {
+        let g = generators::random_forest(100, 0.5, 3);
+        let c = Components::compute(&g);
+        assert!(c.count > 1);
+        let members = c.members();
+        assert_eq!(members.iter().map(Vec::len).sum::<usize>(), 100);
+        // Labels agree with membership and edges stay within components.
+        for (l, m) in members.iter().enumerate() {
+            for &v in m {
+                assert_eq!(c.label(v), l as u32);
+            }
+        }
+        for (u, v) in g.edges() {
+            assert!(c.same(u, v));
+        }
+        assert!(c.largest() >= 1);
+    }
+
+    #[test]
+    fn two_cliques() {
+        let mut b = crate::builder::GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        let c = Components::compute(&b.build());
+        assert_eq!(c.count, 2);
+        assert!(c.same(0, 2));
+        assert!(!c.same(0, 3));
+    }
+}

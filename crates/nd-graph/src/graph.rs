@@ -1,0 +1,215 @@
+//! The central [`ColoredGraph`] type.
+//!
+//! A colored graph is a finite structure over the schema
+//! `σ_c = {E, C_1, …, C_c}` where `E` is a symmetric binary relation and the
+//! `C_i` are unary relations ("colors"). The vertex set is `0..n` and the
+//! linear order on the domain (required by the paper for lexicographic
+//! enumeration) is the natural order on vertex ids.
+//!
+//! The edge relation is immutable after construction (CSR layout); colors are
+//! extensible because the Removal Lemma (Lemma 5.5) and the distance-oracle
+//! recursion of Section 4 repeatedly *recolor* graphs to encode removed
+//! vertices.
+
+use std::fmt;
+
+/// A vertex identifier. Vertices of a graph with `n` vertices are `0..n`.
+pub type Vertex = u32;
+
+/// Identifier of a color (unary relation `C_i`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ColorId(pub u32);
+
+impl fmt::Display for ColorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// An immutable undirected graph with extensible vertex colors.
+///
+/// Invariants:
+/// * adjacency lists are sorted and contain no duplicates or self-loops;
+/// * the graph is symmetric (`u ∈ adj(v)` iff `v ∈ adj(u)`);
+/// * per-color membership lists are sorted.
+#[derive(Clone)]
+pub struct ColoredGraph {
+    /// CSR offsets, length `n + 1`.
+    pub(crate) offsets: Vec<u32>,
+    /// CSR adjacency, length `2m`.
+    pub(crate) adjacency: Vec<Vertex>,
+    /// For each color, the sorted list of member vertices.
+    pub(crate) color_members: Vec<Vec<Vertex>>,
+    /// Optional human-readable color names (aligned with `color_members`).
+    pub(crate) color_names: Vec<Option<String>>,
+}
+
+impl ColoredGraph {
+    /// Number of vertices `|G|`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Encoding size `‖G‖ = |V| + |E|`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.n() + self.m()
+    }
+
+    /// Iterator over all vertices in increasing order.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.n() as Vertex
+    }
+
+    /// Sorted neighbors of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: Vertex) -> &[Vertex] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adjacency[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Whether `{u, v}` is an edge. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: Vertex, v: Vertex) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Number of colors currently registered.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.color_members.len()
+    }
+
+    /// Whether vertex `v` has color `c`. `O(log |C_c|)`.
+    #[inline]
+    pub fn has_color(&self, v: Vertex, c: ColorId) -> bool {
+        self.color_members[c.0 as usize].binary_search(&v).is_ok()
+    }
+
+    /// Sorted members of color `c`.
+    #[inline]
+    pub fn color_members(&self, c: ColorId) -> &[Vertex] {
+        &self.color_members[c.0 as usize]
+    }
+
+    /// Name of color `c`, if one was registered.
+    pub fn color_name(&self, c: ColorId) -> Option<&str> {
+        self.color_names[c.0 as usize].as_deref()
+    }
+
+    /// Look up a color by name.
+    pub fn color_by_name(&self, name: &str) -> Option<ColorId> {
+        self.color_names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+            .map(|i| ColorId(i as u32))
+    }
+
+    /// Register a new color with the given (sorted, deduplicated) members.
+    ///
+    /// This is the recoloring primitive used by the Removal Lemma: a
+    /// `σ_{c'}`-expansion of the graph is obtained by adding colors.
+    pub fn add_color(&mut self, mut members: Vec<Vertex>, name: Option<String>) -> ColorId {
+        members.sort_unstable();
+        members.dedup();
+        debug_assert!(members.last().is_none_or(|&v| (v as usize) < self.n()));
+        let id = ColorId(self.color_members.len() as u32);
+        self.color_members.push(members);
+        self.color_names.push(name);
+        id
+    }
+
+    /// Total number of (vertex, color) memberships — the size of the unary
+    /// part of the encoding.
+    pub fn color_size(&self) -> usize {
+        self.color_members.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as Vertex)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All edges as ordered pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Vertex, Vertex)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+            .filter(|&(u, v)| u < v)
+    }
+}
+
+impl fmt::Debug for ColoredGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ColoredGraph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("colors", &self.num_colors())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_plus_isolated() -> ColoredGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_isolated();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.size(), 7);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[Vertex]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_isolated();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn colors_roundtrip() {
+        let mut g = triangle_plus_isolated();
+        let blue = g.add_color(vec![2, 0, 2], Some("Blue".into()));
+        assert_eq!(g.color_members(blue), &[0, 2]);
+        assert!(g.has_color(0, blue));
+        assert!(!g.has_color(1, blue));
+        assert_eq!(g.color_by_name("Blue"), Some(blue));
+        assert_eq!(g.color_name(blue), Some("Blue"));
+        assert_eq!(g.color_size(), 2);
+    }
+}

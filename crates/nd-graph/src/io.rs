@@ -1,0 +1,184 @@
+//! Plain-text serialization of colored graphs.
+//!
+//! The format is a line-oriented edge list with color sections, designed
+//! for reproducible experiment inputs and for importing external graphs
+//! (road networks, social snapshots) into the library:
+//!
+//! ```text
+//! # comments and blank lines ignored
+//! n 7                 # vertex count (vertices are 0..n)
+//! e 0 1               # an undirected edge
+//! e 1 2
+//! c Blue 0 2 5        # a named color and its members
+//! c Red 1
+//! ```
+
+use crate::builder::GraphBuilder;
+use crate::graph::{ColorId, ColoredGraph, Vertex};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while reading the text format.
+#[derive(Debug)]
+pub enum ReadError {
+    Io(std::io::Error),
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Write a graph in the text format.
+pub fn write_graph(g: &ColoredGraph, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "n {}", g.n())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    for c in 0..g.num_colors() {
+        let cid = ColorId(c as u32);
+        let name = g.color_name(cid).unwrap_or("C");
+        write!(w, "c {name}")?;
+        for &v in g.color_members(cid) {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read a graph from the text format.
+pub fn read_graph(r: impl BufRead) -> Result<ColoredGraph, ReadError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut colors: Vec<(String, Vec<Vertex>)> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ReadError::Parse {
+            line: lineno,
+            message,
+        };
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        match tag {
+            "n" => {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| err("missing vertex count".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad vertex count: {e}")))?;
+                if builder.is_some() {
+                    return Err(err("duplicate 'n' line".into()));
+                }
+                builder = Some(GraphBuilder::new(n));
+            }
+            "e" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("'e' before 'n'".into()))?;
+                let mut next = |what: &str| -> Result<Vertex, ReadError> {
+                    parts
+                        .next()
+                        .ok_or_else(|| ReadError::Parse {
+                            line: lineno,
+                            message: format!("missing {what}"),
+                        })?
+                        .parse()
+                        .map_err(|e| ReadError::Parse {
+                            line: lineno,
+                            message: format!("bad {what}: {e}"),
+                        })
+                };
+                let (u, v) = (next("endpoint")?, next("endpoint")?);
+                if (u as usize) >= b.n() || (v as usize) >= b.n() {
+                    return Err(err(format!("edge ({u},{v}) out of range")));
+                }
+                b.add_edge(u, v);
+            }
+            "c" => {
+                if builder.is_none() {
+                    return Err(err("'c' before 'n'".into()));
+                }
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err("missing color name".into()))?
+                    .to_string();
+                let members: Result<Vec<Vertex>, _> = parts.map(str::parse).collect();
+                let members = members.map_err(|e| err(format!("bad color member: {e}")))?;
+                colors.push((name, members));
+            }
+            other => return Err(err(format!("unknown line tag {other:?}"))),
+        }
+    }
+    let builder = builder.ok_or(ReadError::Parse {
+        line: 0,
+        message: "missing 'n' line".into(),
+    })?;
+    let mut g = builder.build();
+    for (name, members) in colors {
+        g.add_color(members, Some(name));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip() {
+        let mut g = generators::grid(4, 3);
+        g.add_color(vec![0, 5, 11], Some("Blue".into()));
+        g.add_color(vec![], Some("Red".into()));
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(g2.num_colors(), 2);
+        assert_eq!(g2.color_members(ColorId(0)), g.color_members(ColorId(0)));
+        assert_eq!(g2.color_by_name("Red"), Some(ColorId(1)));
+        for v in g.vertices() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks() {
+        let src = "# a graph\n\nn 3\ne 0 1\n# mid comment\ne 1 2\nc Blue 0 2\n";
+        let g = read_graph(src.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert!(g.has_color(2, ColorId(0)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(read_graph("e 0 1\n".as_bytes()).is_err()); // edge before n
+        assert!(read_graph("n 2\ne 0 5\n".as_bytes()).is_err()); // out of range
+        assert!(read_graph("n 2\nx 0 1\n".as_bytes()).is_err()); // bad tag
+        assert!(read_graph("n 2\nn 3\n".as_bytes()).is_err()); // duplicate n
+        assert!(read_graph("".as_bytes()).is_err()); // empty
+        assert!(read_graph("n 2\ne 0\n".as_bytes()).is_err()); // missing endpoint
+    }
+}

@@ -1,0 +1,34 @@
+//! Colored graphs and supporting graph machinery for the nowhere-dense
+//! first-order query enumeration library.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`ColoredGraph`] — an immutable CSR-encoded undirected graph whose
+//!   vertices carry an extensible set of colors (unary predicates). Colored
+//!   graphs are the structures of schema `σ_c = {E, C_1, …, C_c}` from
+//!   Section 2 of the paper.
+//! * [`bfs`] — bounded breadth-first searches with reusable scratch buffers
+//!   (`r`-neighborhoods `N_r(v)`, multi-source distances, distance queries).
+//! * [`induced`] — order-preserving induced substructures `G[X]`.
+//! * [`generators`] — graph families standing in for nowhere dense classes
+//!   (grids, trees, bounded-degree, …) plus dense contrast families.
+//! * [`relational`] — relational databases, their adjacency graphs `A'(D)`
+//!   and the reduction of Lemma 2.2.
+//! * [`stats`] — degeneracy orderings, degree statistics and the
+//!   weak-`r`-accessibility measure used to characterize nowhere dense
+//!   classes empirically.
+
+pub mod bfs;
+pub mod builder;
+pub mod components;
+pub mod generators;
+pub mod graph;
+pub mod induced;
+pub mod io;
+pub mod relational;
+pub mod stats;
+
+pub use bfs::BfsScratch;
+pub use builder::GraphBuilder;
+pub use graph::{ColorId, ColoredGraph, Vertex};
+pub use induced::InducedSubgraph;

@@ -1,0 +1,252 @@
+//! Relational databases and their reduction to colored graphs (Section 2,
+//! Lemma 2.2 of the paper).
+//!
+//! A database `D` over a schema `σ = {R_1, …, R_m}` is turned into the
+//! colored graph `A'(D)`:
+//!
+//! * one node per **element** of the domain of `D` (ids `0..|D|`, preserving
+//!   the element order — this keeps the lexicographic order of answers
+//!   consistent);
+//! * one node per **tuple** occurring in a relation, carrying the color
+//!   `P_R` of its relation;
+//! * one node per (element, position, tuple) **incidence**, carrying the
+//!   position color `C_i`, adjacent to both the element and the tuple node
+//!   (this is the 1-subdivision of the adjacency graph `A(D)`).
+//!
+//! The companion query rewriting (turning `R(x_1,…,x_j)` into the
+//! `∃t (P_R(t) ∧ ⋀_i ∃z (C_i(z) ∧ E(x_i,z) ∧ E(z,t)))` pattern) lives in
+//! `nd-logic`, keyed by the [`AdjacencyMapping`] produced here.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{ColorId, ColoredGraph, Vertex};
+
+/// Schema of a single relation.
+#[derive(Clone, Debug)]
+pub struct RelationDef {
+    pub name: String,
+    pub arity: usize,
+}
+
+/// A finite relational structure with domain `0..domain_size`.
+#[derive(Clone, Debug, Default)]
+pub struct RelationalDb {
+    pub domain_size: usize,
+    pub relations: Vec<(RelationDef, Vec<Vec<u32>>)>,
+}
+
+impl RelationalDb {
+    pub fn new(domain_size: usize) -> Self {
+        RelationalDb {
+            domain_size,
+            relations: Vec::new(),
+        }
+    }
+
+    /// Add a relation; tuples are deduplicated.
+    pub fn add_relation(&mut self, name: &str, arity: usize, mut tuples: Vec<Vec<u32>>) {
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch in {name}");
+            assert!(
+                t.iter().all(|&a| (a as usize) < self.domain_size),
+                "element out of domain in {name}"
+            );
+        }
+        tuples.sort();
+        tuples.dedup();
+        self.relations.push((
+            RelationDef {
+                name: name.to_string(),
+                arity,
+            },
+            tuples,
+        ));
+    }
+
+    /// Maximum relation arity `k` of the schema.
+    pub fn max_arity(&self) -> usize {
+        self.relations
+            .iter()
+            .map(|(d, _)| d.arity)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Does the database contain the given fact?
+    pub fn holds(&self, relation: &str, tuple: &[u32]) -> bool {
+        self.relations
+            .iter()
+            .find(|(d, _)| d.name == relation)
+            .is_some_and(|(_, ts)| ts.binary_search_by(|t| t.as_slice().cmp(tuple)).is_ok())
+    }
+
+    /// Encoding size: domain plus total tuple cells.
+    pub fn size(&self) -> usize {
+        self.domain_size
+            + self
+                .relations
+                .iter()
+                .map(|(d, ts)| d.arity * ts.len())
+                .sum::<usize>()
+    }
+}
+
+/// Book-keeping for the `D ↦ A'(D)` reduction, consumed by the query
+/// rewriting of Lemma 2.2.
+#[derive(Clone, Debug)]
+pub struct AdjacencyMapping {
+    /// Number of domain elements of `D`; they occupy vertices `0..elements`.
+    pub elements: usize,
+    /// Maximum arity `k` of the schema.
+    pub max_arity: usize,
+    /// Position colors `C_1, …, C_k` (index `i-1` holds `C_i`).
+    pub position_colors: Vec<ColorId>,
+    /// One `P_R` color per relation, in schema order.
+    pub relation_colors: Vec<(String, ColorId)>,
+    /// Color marking the nodes that represent domain elements of `D`.
+    ///
+    /// Not part of the paper's `A'(D)` (there, answers are implicitly
+    /// element nodes because free variables occur in relational atoms); we
+    /// make the sort explicit so that the rewritten query can guard its free
+    /// variables even when they occur only in equalities.
+    pub element_color: ColorId,
+}
+
+impl AdjacencyMapping {
+    /// Color `C_i` for position `i ∈ 1..=k`.
+    pub fn position_color(&self, i: usize) -> ColorId {
+        self.position_colors[i - 1]
+    }
+
+    /// Color `P_R` for a relation name.
+    pub fn relation_color(&self, name: &str) -> Option<ColorId> {
+        self.relation_colors
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, c)| c)
+    }
+}
+
+/// Build the colored graph `A'(D)` and its mapping.
+pub fn adjacency_graph(db: &RelationalDb) -> (ColoredGraph, AdjacencyMapping) {
+    let k = db.max_arity();
+    let n_elements = db.domain_size;
+    let n_tuples: usize = db.relations.iter().map(|(_, ts)| ts.len()).sum();
+    let n_incidences: usize = db
+        .relations
+        .iter()
+        .map(|(d, ts)| d.arity * ts.len())
+        .sum();
+
+    let mut b = GraphBuilder::new(n_elements + n_tuples + n_incidences);
+    let mut position_members: Vec<Vec<Vertex>> = vec![Vec::new(); k];
+    let mut relation_members: Vec<Vec<Vertex>> = Vec::with_capacity(db.relations.len());
+
+    let mut tuple_node = n_elements as Vertex;
+    let mut incidence_node = (n_elements + n_tuples) as Vertex;
+    for (def, tuples) in &db.relations {
+        let mut members = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            members.push(tuple_node);
+            for (i, &elem) in t.iter().enumerate() {
+                // Subdivision vertex of color C_{i+1} between element and tuple.
+                b.add_edge(elem, incidence_node);
+                b.add_edge(incidence_node, tuple_node);
+                position_members[i].push(incidence_node);
+                incidence_node += 1;
+            }
+            tuple_node += 1;
+        }
+        let _ = def;
+        relation_members.push(members);
+    }
+
+    let mut g = b.build();
+    let mut position_colors = Vec::with_capacity(k);
+    for (i, members) in position_members.into_iter().enumerate() {
+        position_colors.push(g.add_color(members, Some(format!("@pos{}", i + 1))));
+    }
+    let mut relation_colors = Vec::with_capacity(db.relations.len());
+    for ((def, _), members) in db.relations.iter().zip(relation_members) {
+        let c = g.add_color(members, Some(format!("@rel:{}", def.name)));
+        relation_colors.push((def.name.clone(), c));
+    }
+    let element_color = g.add_color(
+        (0..n_elements as Vertex).collect(),
+        Some("@elem".to_string()),
+    );
+
+    (
+        g,
+        AdjacencyMapping {
+            elements: n_elements,
+            max_arity: k,
+            position_colors,
+            relation_colors,
+            element_color,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> RelationalDb {
+        let mut db = RelationalDb::new(4);
+        db.add_relation("R", 3, vec![vec![0, 1, 2], vec![1, 1, 3]]);
+        db.add_relation("S", 1, vec![vec![2]]);
+        db
+    }
+
+    #[test]
+    fn db_basics() {
+        let db = sample_db();
+        assert_eq!(db.max_arity(), 3);
+        assert!(db.holds("R", &[0, 1, 2]));
+        assert!(!db.holds("R", &[2, 1, 0]));
+        assert!(db.holds("S", &[2]));
+        assert_eq!(db.size(), 4 + 6 + 1);
+    }
+
+    #[test]
+    fn adjacency_graph_structure() {
+        let db = sample_db();
+        let (g, map) = adjacency_graph(&db);
+        // 4 elements + 3 tuples + (3+3+1) incidences.
+        assert_eq!(g.n(), 4 + 3 + 7);
+        // Each incidence contributes 2 edges.
+        assert_eq!(g.m(), 14);
+        assert_eq!(map.elements, 4);
+        assert_eq!(map.max_arity, 3);
+
+        // Tuple (0,1,2) of R: its tuple node has color P_R and is connected
+        // to elements 0, 1, 2 through C_1, C_2, C_3 incidence nodes.
+        let pr = map.relation_color("R").unwrap();
+        let tuple_nodes = g.color_members(pr);
+        assert_eq!(tuple_nodes.len(), 2);
+        let t = tuple_nodes[0];
+        let mut seen = Vec::new();
+        for &z in g.neighbors(t) {
+            // z is an incidence node: its other neighbor is the element.
+            let pos = (1..=3)
+                .find(|&i| g.has_color(z, map.position_color(i)))
+                .unwrap();
+            let elem = *g.neighbors(z).iter().find(|&&w| w != t).unwrap();
+            seen.push((pos, elem));
+        }
+        seen.sort();
+        assert_eq!(seen, vec![(1, 0), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn subdivision_means_bipartite_like_distances() {
+        // Element and tuple nodes are at even distance; an element is at
+        // distance 2 from each tuple node containing it.
+        let db = sample_db();
+        let (g, map) = adjacency_graph(&db);
+        let pr = map.relation_color("R").unwrap();
+        let t0 = g.color_members(pr)[0];
+        assert!(crate::bfs::within_distance(&g, 0, t0, 2));
+        assert!(!crate::bfs::within_distance(&g, 0, t0, 1));
+    }
+}

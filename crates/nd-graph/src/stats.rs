@@ -1,0 +1,218 @@
+//! Sparsity statistics: degeneracy orderings and weak `r`-accessibility.
+//!
+//! The paper characterizes nowhere dense classes via weak `r`-accessibility
+//! (Section 2): `C` is nowhere dense iff for all `r, ε` and large enough
+//! `G ∈ C` there is a linear order under which every vertex weakly
+//! `r`-accesses at most `|G|^ε` vertices. We use the degeneracy order as the
+//! candidate order and *measure* the accessibility profile — this is how the
+//! experiment harness classifies generated graph families as
+//! empirically-sparse or not (experiment A3).
+
+use crate::bfs::UNREACHED;
+use crate::graph::{ColoredGraph, Vertex};
+
+/// Degree statistics of a graph.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+}
+
+/// Compute min/max/mean degree.
+pub fn degree_stats(g: &ColoredGraph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
+    }
+    let mut min = usize::MAX;
+    let mut max = 0;
+    let mut sum = 0usize;
+    for v in g.vertices() {
+        let d = g.degree(v);
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+    }
+    DegreeStats {
+        min,
+        max,
+        mean: sum as f64 / n as f64,
+    }
+}
+
+/// Degeneracy of the graph together with a degeneracy ordering
+/// (repeatedly remove a minimum-degree vertex; the ordering lists vertices
+/// in removal order). Linear time via bucket queues.
+pub fn degeneracy_ordering(g: &ColoredGraph) -> (usize, Vec<Vertex>) {
+    let n = g.n();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut deg: Vec<usize> = (0..n as Vertex).map(|v| g.degree(v)).collect();
+    let maxd = *deg.iter().max().unwrap();
+    let mut buckets: Vec<Vec<Vertex>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as Vertex);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        // Find the lowest non-empty bucket (cur can only have decreased by 1
+        // per removal, so rewinding by one keeps this linear overall).
+        cur = cur.saturating_sub(1);
+        loop {
+            match buckets[cur].pop() {
+                Some(v) if !removed[v as usize] && deg[v as usize] == cur => {
+                    removed[v as usize] = true;
+                    degeneracy = degeneracy.max(cur);
+                    order.push(v);
+                    for &w in g.neighbors(v) {
+                        if !removed[w as usize] {
+                            deg[w as usize] -= 1;
+                            buckets[deg[w as usize]].push(w);
+                        }
+                    }
+                    break;
+                }
+                Some(_) => continue, // stale entry
+                None => {
+                    cur += 1;
+                    debug_assert!(cur <= maxd, "bucket scan ran off the end");
+                }
+            }
+        }
+    }
+    (degeneracy, order)
+}
+
+/// For each vertex `a`, the number of vertices weakly `r`-accessible from
+/// `a` under the given order (`rank[v]` = position of `v`): vertices `b`
+/// with `rank[b] < rank[a]` reachable by a path of length `≤ r` whose
+/// internal vertices all have rank `> rank[a]`.
+///
+/// Returns the maximum count over all vertices. Cost `O(Σ_v ‖N_r(v)‖)`.
+pub fn max_weak_accessibility(g: &ColoredGraph, order: &[Vertex], r: u32) -> usize {
+    let n = g.n();
+    let mut rank = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i as u32;
+    }
+    let mut best = 0usize;
+    // BFS restricted to vertices of rank > rank[a], counting lower-rank
+    // vertices reachable as *endpoints*.
+    let mut dist = vec![UNREACHED; n];
+    let mut queue: Vec<Vertex> = Vec::new();
+    let mut touched: Vec<Vertex> = Vec::new();
+    for &a in order {
+        let ra = rank[a as usize];
+        for &v in &touched {
+            dist[v as usize] = UNREACHED;
+        }
+        touched.clear();
+        queue.clear();
+        dist[a as usize] = 0;
+        queue.push(a);
+        touched.push(a);
+        let mut count = 0usize;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            let du = dist[u as usize];
+            if du >= r {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if dist[w as usize] != UNREACHED {
+                    continue;
+                }
+                dist[w as usize] = du + 1;
+                touched.push(w);
+                if rank[w as usize] < ra {
+                    // Endpoint: count it, but do not continue the path
+                    // through it (internal vertices must have larger rank).
+                    count += 1;
+                } else {
+                    queue.push(w);
+                }
+            }
+        }
+        best = best.max(count);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degeneracy_of_families() {
+        let (d, ord) = degeneracy_ordering(&generators::path(10));
+        assert_eq!(d, 1);
+        assert_eq!(ord.len(), 10);
+        let (d, _) = degeneracy_ordering(&generators::cycle(10));
+        assert_eq!(d, 2);
+        let (d, _) = degeneracy_ordering(&generators::clique(6));
+        assert_eq!(d, 5);
+        let (d, _) = degeneracy_ordering(&generators::grid(8, 8));
+        assert_eq!(d, 2);
+        let (d, _) = degeneracy_ordering(&generators::random_tree(64, 1));
+        assert_eq!(d, 1);
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_a_permutation() {
+        let g = generators::bounded_degree(100, 5, 2);
+        let (_, ord) = degeneracy_ordering(&g);
+        let mut seen = vec![false; g.n()];
+        for &v in &ord {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn weak_accessibility_tree_vs_clique() {
+        let tree = generators::random_tree(200, 3);
+        let (_, ord) = degeneracy_ordering(&tree);
+        // reverse removal order: classic degeneracy order for accessibility
+        let ord: Vec<_> = ord.into_iter().rev().collect();
+        let wa_tree = max_weak_accessibility(&tree, &ord, 2);
+        let k = generators::clique(40);
+        let (_, ordk) = degeneracy_ordering(&k);
+        let ordk: Vec<_> = ordk.into_iter().rev().collect();
+        let wa_clique = max_weak_accessibility(&k, &ordk, 2);
+        assert!(
+            wa_tree < wa_clique,
+            "tree {wa_tree} should be far sparser than clique {wa_clique}"
+        );
+        assert_eq!(wa_clique, 39);
+    }
+
+    #[test]
+    fn degree_stats_grid() {
+        let s = degree_stats(&generators::grid(3, 3));
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 24.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = generators::path(0);
+        assert_eq!(degree_stats(&g).max, 0);
+        let (d, ord) = degeneracy_ordering(&g);
+        assert_eq!(d, 0);
+        assert!(ord.is_empty());
+    }
+}

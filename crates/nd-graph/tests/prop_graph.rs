@@ -1,0 +1,150 @@
+//! Property tests for the graph substrate: CSR invariants, BFS metric
+//! axioms, induced-subgraph faithfulness, and the adjacency-graph
+//! reduction's structural guarantees.
+
+use proptest::prelude::*;
+
+use nd_graph::bfs::{ball, BfsScratch, UNREACHED};
+use nd_graph::relational::{adjacency_graph, RelationalDb};
+use nd_graph::{ColoredGraph, GraphBuilder, InducedSubgraph, Vertex};
+
+fn arb_graph() -> impl Strategy<Value = ColoredGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as Vertex, 0..n as Vertex), 0..3 * n);
+        edges.prop_map(move |es| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in es {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adjacency_is_symmetric_sorted_loopfree(g in arb_graph()) {
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!ns.contains(&v));
+            for &u in ns {
+                prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+            }
+        }
+        let handshake: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(handshake, 2 * g.m());
+    }
+
+    #[test]
+    fn bfs_satisfies_metric_axioms(g in arb_graph()) {
+        let mut s = BfsScratch::new(g.n());
+        let a = 0 as Vertex;
+        s.run(&g, a, u32::MAX);
+        // Triangle over edges: |d(u) - d(v)| ≤ 1 for every edge.
+        for (u, v) in g.edges() {
+            let (du, dv) = (s.dist(u), s.dist(v));
+            if du != UNREACHED && dv != UNREACHED {
+                prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}): {du} vs {dv}");
+            } else {
+                prop_assert_eq!(du, dv, "one endpoint reached, the other not");
+            }
+        }
+        // Every non-source reached vertex has a predecessor.
+        for &v in s.reached() {
+            if v != a {
+                let dv = s.dist(v);
+                prop_assert!(g.neighbors(v).iter().any(|&u| s.dist(u) + 1 == dv));
+            }
+        }
+    }
+
+    #[test]
+    fn capped_distance_agrees_with_full_bfs(g in arb_graph(), r in 0u32..6) {
+        let mut s = BfsScratch::new(g.n());
+        let mut s2 = BfsScratch::new(g.n());
+        s.run(&g, 0, r);
+        for v in g.vertices() {
+            let within = s.dist(v) != UNREACHED;
+            prop_assert_eq!(
+                s2.distance_capped(&g, 0, v, r).is_some(),
+                within,
+                "v={}, r={}", v, r
+            );
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_is_faithful(g in arb_graph(), keep_mod in 2u32..4) {
+        let verts: Vec<Vertex> = g.vertices().filter(|v| v % keep_mod == 0).collect();
+        let sub = InducedSubgraph::new(&g, &verts);
+        for (i, &gv) in verts.iter().enumerate() {
+            for (j, &gw) in verts.iter().enumerate() {
+                prop_assert_eq!(
+                    sub.graph.has_edge(i as Vertex, j as Vertex),
+                    g.has_edge(gv, gw),
+                    "({},{})", gv, gw
+                );
+            }
+        }
+        // new_small agrees with new on edges and colors.
+        let sub2 = InducedSubgraph::new_small(&g, &verts);
+        prop_assert_eq!(sub.graph.m(), sub2.graph.m());
+    }
+
+    #[test]
+    fn balls_are_monotone_in_radius(g in arb_graph(), v in 0u32..2, r in 0u32..5) {
+        let v = v % g.n() as u32;
+        let small = ball(&g, v, r);
+        let big = ball(&g, v, r + 1);
+        for x in &small {
+            prop_assert!(big.binary_search(x).is_ok());
+        }
+        prop_assert!(small.binary_search(&v).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn adjacency_graph_preserves_facts(
+        n in 2usize..8,
+        tuples in prop::collection::vec(prop::collection::vec(0u32..8, 2), 0..12)
+    ) {
+        let tuples: Vec<Vec<u32>> = tuples
+            .into_iter()
+            .map(|t| t.into_iter().map(|x| x % n as u32).collect())
+            .collect();
+        let mut db = RelationalDb::new(n);
+        db.add_relation("R", 2, tuples.clone());
+        let (g, map) = adjacency_graph(&db);
+
+        // A fact R(a, b) holds iff there is a tuple node adjacent (via the
+        // subdivision) to a at position 1 and b at position 2.
+        let pr = map.relation_color("R").unwrap();
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                let holds = g.color_members(pr).iter().any(|&t| {
+                    let mut pos1 = false;
+                    let mut pos2 = false;
+                    for &z in g.neighbors(t) {
+                        let elem = *g.neighbors(z).iter().find(|&&w| w != t).unwrap();
+                        if g.has_color(z, map.position_color(1)) && elem == a {
+                            pos1 = true;
+                        }
+                        if g.has_color(z, map.position_color(2)) && elem == b {
+                            pos2 = true;
+                        }
+                    }
+                    pos1 && pos2
+                });
+                prop_assert_eq!(holds, db.holds("R", &[a, b]), "R({},{})", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,491 @@
+//! The FO⁺ formula AST.
+//!
+//! FO⁺ (Section 5 of the paper) is first-order logic over the colored-graph
+//! schema `σ_c = {E, C_1, …, C_c}` extended with *distance atoms*
+//! `dist(x,y) ≤ d`. Distance atoms do not add expressive power but give the
+//! finer `q`-rank measure that the Rank-Preserving Normal Form controls.
+//!
+//! Relational atoms `R(x̄)` are also representable so that queries over
+//! relational databases can be written directly and rewritten to colored
+//! graphs via Lemma 2.2 (see [`crate::relational`]).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query variable. Variables are small integers managed per query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Reference to a color: by name (parsed queries, resolved against a graph)
+/// or directly by id (programmatically constructed formulas, e.g. the
+/// recolorings of the Removal Lemma).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ColorRef {
+    Named(String),
+    Id(u32),
+}
+
+impl fmt::Display for ColorRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColorRef::Named(n) => write!(f, "{n}"),
+            ColorRef::Id(i) => write!(f, "C#{i}"),
+        }
+    }
+}
+
+/// An FO⁺ formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    True,
+    False,
+    /// Edge atom `E(x, y)`.
+    Edge(VarId, VarId),
+    /// Color atom `C(x)`.
+    Color(ColorRef, VarId),
+    /// Equality `x = y`.
+    Eq(VarId, VarId),
+    /// Distance atom `dist(x, y) ≤ d` (the FO⁺ extension).
+    DistLe(VarId, VarId, u32),
+    /// Relational atom `R(x_1, …, x_j)` — only meaningful over relational
+    /// databases; rewritten away by Lemma 2.2 before graph evaluation.
+    Rel(String, Vec<VarId>),
+    Not(Box<Formula>),
+    And(Vec<Formula>),
+    Or(Vec<Formula>),
+    Exists(VarId, Box<Formula>),
+    Forall(VarId, Box<Formula>),
+}
+
+impl Formula {
+    /// `dist(x, y) > d` as the standard abbreviation `¬(dist(x,y) ≤ d)`.
+    pub fn dist_gt(x: VarId, y: VarId, d: u32) -> Formula {
+        Formula::Not(Box::new(Formula::DistLe(x, y, d)))
+    }
+
+    /// Conjunction, flattening nested `And`s and dropping `True`.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested `Or`s and dropping `False`.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(xs) => out.extend(xs),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Free variables, in ascending `VarId` order.
+    pub fn free_vars(&self) -> Vec<VarId> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<VarId>, free: &mut BTreeSet<VarId>) {
+        let touch = |v: VarId, bound: &BTreeSet<VarId>, free: &mut BTreeSet<VarId>| {
+            if !bound.contains(&v) {
+                free.insert(v);
+            }
+        };
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Edge(x, y) | Formula::Eq(x, y) | Formula::DistLe(x, y, _) => {
+                touch(*x, bound, free);
+                touch(*y, bound, free);
+            }
+            Formula::Color(_, x) => touch(*x, bound, free),
+            Formula::Rel(_, xs) => {
+                for &x in xs {
+                    touch(x, bound, free);
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, free),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, free);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let fresh = bound.insert(*v);
+                f.collect_free(bound, free);
+                if fresh {
+                    bound.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Apply a variable renaming to every occurrence (free and bound).
+    pub fn rename(&self, f: &impl Fn(VarId) -> VarId) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Edge(x, y) => Formula::Edge(f(*x), f(*y)),
+            Formula::Color(c, x) => Formula::Color(c.clone(), f(*x)),
+            Formula::Eq(x, y) => Formula::Eq(f(*x), f(*y)),
+            Formula::DistLe(x, y, d) => Formula::DistLe(f(*x), f(*y), *d),
+            Formula::Rel(r, xs) => Formula::Rel(r.clone(), xs.iter().map(|&x| f(x)).collect()),
+            Formula::Not(g) => Formula::Not(Box::new(g.rename(f))),
+            Formula::And(gs) => Formula::And(gs.iter().map(|g| g.rename(f)).collect()),
+            Formula::Or(gs) => Formula::Or(gs.iter().map(|g| g.rename(f)).collect()),
+            Formula::Exists(v, g) => Formula::Exists(f(*v), Box::new(g.rename(f))),
+            Formula::Forall(v, g) => Formula::Forall(f(*v), Box::new(g.rename(f))),
+        }
+    }
+
+    /// Quantifier rank.
+    pub fn quantifier_rank(&self) -> u32 {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Edge(..)
+            | Formula::Color(..)
+            | Formula::Eq(..)
+            | Formula::DistLe(..)
+            | Formula::Rel(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_rank).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_rank(),
+        }
+    }
+
+    /// Largest constant appearing in a distance atom (0 if none).
+    pub fn max_dist_atom(&self) -> u32 {
+        match self {
+            Formula::DistLe(_, _, d) => *d,
+            Formula::Not(f) => f.max_dist_atom(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::max_dist_atom).max().unwrap_or(0)
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.max_dist_atom(),
+            _ => 0,
+        }
+    }
+
+    /// Number of symbols `|q|` (a simple node count).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Edge(..)
+            | Formula::Color(..)
+            | Formula::Eq(..)
+            | Formula::DistLe(..) => 1,
+            Formula::Rel(_, xs) => 1 + xs.len(),
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                1 + fs.iter().map(Formula::size).sum::<usize>()
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+
+    /// Does the formula have `q`-rank at most `ℓ` (Section 5.1.2)? A formula
+    /// has `q`-rank `≤ ℓ` if its quantifier rank is `≤ ℓ` and each distance
+    /// atom under `i ≤ ℓ` quantifiers has constant `≤ (4q)^{q+ℓ-i}`.
+    pub fn has_q_rank_at_most(&self, q: u32, ell: u32) -> bool {
+        fn walk(f: &Formula, q: u32, ell: u32, depth: u32) -> bool {
+            match f {
+                Formula::DistLe(_, _, d) => {
+                    depth <= ell && (*d as u64) <= f_q(q, ell - depth)
+                }
+                Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                    depth < ell && walk(g, q, ell, depth + 1)
+                }
+                Formula::Not(g) => walk(g, q, ell, depth),
+                Formula::And(gs) | Formula::Or(gs) => {
+                    gs.iter().all(|g| walk(g, q, ell, depth))
+                }
+                _ => true,
+            }
+        }
+        self.quantifier_rank() <= ell && walk(self, q, ell, 0)
+    }
+
+    /// Negation normal form: `Not` pushed onto atoms, `Forall`/`Exists`,
+    /// `And`/`Or` dualized.
+    pub fn nnf(&self) -> Formula {
+        fn pos(f: &Formula) -> Formula {
+            match f {
+                Formula::Not(g) => neg(g),
+                Formula::And(gs) => Formula::And(gs.iter().map(pos).collect()),
+                Formula::Or(gs) => Formula::Or(gs.iter().map(pos).collect()),
+                Formula::Exists(v, g) => Formula::Exists(*v, Box::new(pos(g))),
+                Formula::Forall(v, g) => Formula::Forall(*v, Box::new(pos(g))),
+                atom => atom.clone(),
+            }
+        }
+        fn neg(f: &Formula) -> Formula {
+            match f {
+                Formula::True => Formula::False,
+                Formula::False => Formula::True,
+                Formula::Not(g) => pos(g),
+                Formula::And(gs) => Formula::Or(gs.iter().map(neg).collect()),
+                Formula::Or(gs) => Formula::And(gs.iter().map(neg).collect()),
+                Formula::Exists(v, g) => Formula::Forall(*v, Box::new(neg(g))),
+                Formula::Forall(v, g) => Formula::Exists(*v, Box::new(neg(g))),
+                atom => Formula::Not(Box::new(atom.clone())),
+            }
+        }
+        pos(self)
+    }
+}
+
+/// The paper's `f_q(ℓ) = (4q)^{q+ℓ}` radius schedule (saturating).
+pub fn f_q(q: u32, ell: u32) -> u64 {
+    (4u64.saturating_mul(q as u64)).saturating_pow(q.saturating_add(ell))
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Edge(x, y) => write!(f, "E({x},{y})"),
+            Formula::Color(c, x) => write!(f, "{c}({x})"),
+            Formula::Eq(x, y) => write!(f, "{x}={y}"),
+            Formula::DistLe(x, y, d) => write!(f, "dist({x},{y})<={d}"),
+            Formula::Rel(r, xs) => {
+                write!(f, "{r}(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(g) => write!(f, "!({g})"),
+            Formula::And(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " && ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(gs) => {
+                write!(f, "(")?;
+                for (i, g) in gs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " || ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(v, g) => write!(f, "exists {v}. ({g})"),
+            Formula::Forall(v, g) => write!(f, "forall {v}. ({g})"),
+        }
+    }
+}
+
+/// A query: a formula together with the (ordered!) list of its free
+/// variables. The order defines the tuple positions and hence the
+/// lexicographic order on answers (Theorem 2.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    pub formula: Formula,
+    /// Free variables in answer-tuple order.
+    pub free: Vec<VarId>,
+    /// Human-readable names, indexed by `VarId` (parser bookkeeping).
+    pub var_names: Vec<String>,
+}
+
+impl Query {
+    /// Build a query. Every free variable of the formula must appear in
+    /// `free`; `free` may declare *additional* answer variables, which are
+    /// then unconstrained (this occurs naturally in union branches and in
+    /// Removal-Lemma rewritings where a variable's atoms collapse to
+    /// constants).
+    pub fn new(formula: Formula, free: Vec<VarId>) -> Self {
+        let mut sorted = free.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), free.len(), "duplicate answer variable");
+        assert!(
+            formula
+                .free_vars()
+                .iter()
+                .all(|v| sorted.binary_search(v).is_ok()),
+            "free-variable list must cover the formula's free variables"
+        );
+        let max = free.iter().map(|v| v.0).max().map_or(0, |m| m + 1);
+        Query {
+            formula,
+            free,
+            var_names: (0..max).map(|i| format!("v{i}")).collect(),
+        }
+    }
+
+    /// Arity `k` of the query.
+    pub fn arity(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q(")?;
+        for (i, v) in self.free.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            let name = self
+                .var_names
+                .get(v.0 as usize)
+                .cloned()
+                .unwrap_or_else(|| v.to_string());
+            write!(f, "{name}")?;
+        }
+        write!(f, ") := {}", self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+    fn z() -> VarId {
+        VarId(2)
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let f = Formula::Exists(
+            y(),
+            Box::new(Formula::And(vec![
+                Formula::Edge(x(), y()),
+                Formula::Edge(y(), z()),
+            ])),
+        );
+        assert_eq!(f.free_vars(), vec![x(), z()]);
+    }
+
+    #[test]
+    fn shadowing() {
+        // exists y. (E(x,y) && exists y. E(y,y)) — inner y shadows.
+        let inner = Formula::Exists(y(), Box::new(Formula::Edge(y(), y())));
+        let f = Formula::Exists(
+            y(),
+            Box::new(Formula::And(vec![Formula::Edge(x(), y()), inner])),
+        );
+        assert_eq!(f.free_vars(), vec![x()]);
+        assert_eq!(f.quantifier_rank(), 2);
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::and([Formula::True, Formula::Edge(x(), y())]), Formula::Edge(x(), y()));
+        assert_eq!(Formula::and([Formula::False, Formula::Edge(x(), y())]), Formula::False);
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(
+            Formula::or([Formula::Or(vec![Formula::True])]),
+            Formula::True
+        );
+    }
+
+    #[test]
+    fn nnf_pushes_negation() {
+        let f = Formula::Not(Box::new(Formula::And(vec![
+            Formula::Edge(x(), y()),
+            Formula::Exists(z(), Box::new(Formula::Color(ColorRef::Id(0), z()))),
+        ])));
+        let n = f.nnf();
+        assert_eq!(
+            n,
+            Formula::Or(vec![
+                Formula::Not(Box::new(Formula::Edge(x(), y()))),
+                Formula::Forall(
+                    z(),
+                    Box::new(Formula::Not(Box::new(Formula::Color(ColorRef::Id(0), z()))))
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn q_rank_distance_schedule() {
+        // q = 2, ℓ = 1: an atom under 0 quantifiers may use d ≤ (4·2)^3 = 512;
+        // under 1 quantifier only d ≤ 64.
+        let shallow = Formula::DistLe(x(), y(), 512);
+        assert!(shallow.has_q_rank_at_most(2, 1));
+        let deep = Formula::Exists(z(), Box::new(Formula::DistLe(x(), z(), 512)));
+        assert!(!deep.has_q_rank_at_most(2, 1));
+        let deep_ok = Formula::Exists(z(), Box::new(Formula::DistLe(x(), z(), 64)));
+        assert!(deep_ok.has_q_rank_at_most(2, 1));
+        assert_eq!(f_q(2, 1), 512);
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let f = Formula::Exists(
+            y(),
+            Box::new(Formula::and([
+                Formula::Edge(x(), y()),
+                Formula::dist_gt(x(), y(), 2),
+            ])),
+        );
+        assert_eq!(format!("{f}"), "exists v1. ((E(v0,v1) && !(dist(v0,v1)<=2)))");
+    }
+
+    #[test]
+    fn rename_is_total() {
+        let f = Formula::Exists(y(), Box::new(Formula::Edge(x(), y())));
+        let g = f.rename(&|v| VarId(v.0 + 10));
+        assert_eq!(g.free_vars(), vec![VarId(10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "free-variable list")]
+    fn query_checks_free_vars() {
+        Query::new(Formula::Edge(x(), y()), vec![x()]);
+    }
+
+    #[test]
+    fn query_allows_extra_answer_vars() {
+        let q = Query::new(Formula::Edge(x(), y()), vec![x(), y(), z()]);
+        assert_eq!(q.arity(), 3);
+    }
+}

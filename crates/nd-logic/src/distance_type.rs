@@ -1,0 +1,224 @@
+//! `r`-distance types (Section 5.1.2).
+//!
+//! For a `k`-tuple `ā` over a graph `G`, the `r`-distance type `τ_r^G(ā)` is
+//! the undirected graph on positions `{1, …, k}` with an edge `{i, j}` iff
+//! `dist(a_i, a_j) ≤ r`. The Rank-Preserving Normal Form decomposes a query
+//! along the connected components of the distance type: positions in the
+//! same component are "close" (they live in one bag of the cover), positions
+//! in different components are "far" (handled by skip pointers).
+
+use crate::ast::{Formula, VarId};
+
+/// A distance type `τ ∈ T_k`: a graph on positions `0..k` (0-indexed here,
+/// unlike the paper's `1..k`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DistanceType {
+    k: usize,
+    /// Upper-triangle adjacency, row-major: entry for `(i, j)` with `i < j`
+    /// at index `idx(i, j)`.
+    adj: Vec<bool>,
+}
+
+impl DistanceType {
+    /// The edgeless type on `k` positions.
+    pub fn empty(k: usize) -> Self {
+        DistanceType {
+            k,
+            adj: vec![false; k * k.saturating_sub(1) / 2],
+        }
+    }
+
+    /// Number of positions.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.k);
+        // Row i starts after rows 0..i: sum_{t<i} (k-1-t).
+        i * (2 * self.k - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Is `{i, j}` an edge (positions close)?
+    pub fn edge(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return true;
+        }
+        let (i, j) = (i.min(j), i.max(j));
+        self.adj[self.idx(i, j)]
+    }
+
+    /// Add the edge `{i, j}`.
+    pub fn set_edge(&mut self, i: usize, j: usize) {
+        assert_ne!(i, j);
+        let (i, j) = (i.min(j), i.max(j));
+        let idx = self.idx(i, j);
+        self.adj[idx] = true;
+    }
+
+    /// All `2^{k(k-1)/2}` distance types on `k` positions (small `k` only).
+    pub fn all(k: usize) -> Vec<DistanceType> {
+        let bits = k * k.saturating_sub(1) / 2;
+        assert!(bits <= 20, "too many distance types to enumerate");
+        (0..(1usize << bits))
+            .map(|mask| DistanceType {
+                k,
+                adj: (0..bits).map(|b| mask >> b & 1 == 1).collect(),
+            })
+            .collect()
+    }
+
+    /// Compute `τ_r^G(ā)` given a `dist(·,·) ≤ r` oracle.
+    pub fn of_tuple(k: usize, mut close: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut t = DistanceType::empty(k);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if close(i, j) {
+                    t.set_edge(i, j);
+                }
+            }
+        }
+        t
+    }
+
+    /// Connected components, each as a sorted list of positions; components
+    /// ordered by their minimum position.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut comp = vec![usize::MAX; self.k];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for start in 0..self.k {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = out.len();
+            let mut stack = vec![start];
+            comp[start] = id;
+            let mut members = vec![start];
+            while let Some(i) = stack.pop() {
+                #[allow(clippy::needless_range_loop)] // index used in edge(i, j)
+                for j in 0..self.k {
+                    if j != i && comp[j] == usize::MAX && self.edge(i, j) {
+                        comp[j] = id;
+                        stack.push(j);
+                        members.push(j);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// The component containing position `i`.
+    pub fn component_of(&self, i: usize) -> Vec<usize> {
+        self.components()
+            .into_iter()
+            .find(|c| c.contains(&i))
+            .expect("position out of range")
+    }
+
+    /// The characteristic formula `ρ_τ(x̄)` (Step 2 of the Section 5.2.1
+    /// preprocessing): the conjunction of `dist ≤ r` for edges and
+    /// `dist > r` for non-edges, so that `G ⊨ ρ_τ(ā)` iff `τ_r^G(ā) = τ`.
+    pub fn rho(&self, vars: &[VarId], r: u32) -> Formula {
+        assert_eq!(vars.len(), self.k);
+        let mut parts = Vec::new();
+        for i in 0..self.k {
+            for j in (i + 1)..self.k {
+                if self.edge(i, j) {
+                    parts.push(Formula::DistLe(vars[i], vars[j], r));
+                } else {
+                    parts.push(Formula::dist_gt(vars[i], vars[j], r));
+                }
+            }
+        }
+        Formula::and(parts)
+    }
+
+    /// Restriction of the type to positions `0..k-1` (the `τ'` of the
+    /// answering phase).
+    pub fn restrict_prefix(&self) -> DistanceType {
+        let mut t = DistanceType::empty(self.k - 1);
+        for i in 0..self.k - 1 {
+            for j in (i + 1)..self.k - 1 {
+                if self.edge(i, j) {
+                    t.set_edge(i, j);
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_index_math() {
+        let mut t = DistanceType::empty(4);
+        t.set_edge(0, 1);
+        t.set_edge(2, 3);
+        assert!(t.edge(0, 1));
+        assert!(t.edge(1, 0));
+        assert!(t.edge(3, 2));
+        assert!(!t.edge(0, 2));
+        assert!(t.edge(2, 2), "reflexive by convention");
+    }
+
+    #[test]
+    fn components_partition() {
+        let mut t = DistanceType::empty(5);
+        t.set_edge(0, 2);
+        t.set_edge(2, 4);
+        t.set_edge(1, 3);
+        let comps = t.components();
+        assert_eq!(comps, vec![vec![0, 2, 4], vec![1, 3]]);
+        assert_eq!(t.component_of(4), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn all_types_count() {
+        assert_eq!(DistanceType::all(1).len(), 1);
+        assert_eq!(DistanceType::all(2).len(), 2);
+        assert_eq!(DistanceType::all(3).len(), 8);
+        assert_eq!(DistanceType::all(4).len(), 64);
+        // Each enumerated type is distinct.
+        let all = DistanceType::all(3);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn of_tuple_matches_oracle() {
+        let t = DistanceType::of_tuple(3, |i, j| i + j == 2);
+        assert!(t.edge(0, 2));
+        assert!(!t.edge(0, 1));
+        assert!(!t.edge(1, 2));
+    }
+
+    #[test]
+    fn rho_shape() {
+        let mut t = DistanceType::empty(2);
+        t.set_edge(0, 1);
+        let f = t.rho(&[VarId(0), VarId(1)], 3);
+        assert_eq!(f, Formula::DistLe(VarId(0), VarId(1), 3));
+        let t2 = DistanceType::empty(2);
+        let f2 = t2.rho(&[VarId(0), VarId(1)], 3);
+        assert_eq!(f2, Formula::dist_gt(VarId(0), VarId(1), 3));
+    }
+
+    #[test]
+    fn restrict_prefix_drops_last() {
+        let mut t = DistanceType::empty(3);
+        t.set_edge(0, 1);
+        t.set_edge(1, 2);
+        let p = t.restrict_prefix();
+        assert_eq!(p.k(), 2);
+        assert!(p.edge(0, 1));
+    }
+}

@@ -1,0 +1,31 @@
+//! First-order logic with distance atoms (**FO⁺**, Section 5 of the paper)
+//! over colored graphs and relational structures.
+//!
+//! * [`ast`] — the formula AST (`E`, colors, `=`, `dist(x,y) ≤ d`, boolean
+//!   connectives, quantifiers, and relational atoms for databases),
+//!   free-variable computation, renaming, negation normal form,
+//!   quantifier-rank and the paper's `q`-rank (Section 5.1.2).
+//! * [`parser`] — a textual surface syntax for queries.
+//! * [`mod@eval`] — naive (exponential-in-arity) evaluation over colored graphs
+//!   and over relational databases; this is both the semantics of record and
+//!   the ground truth every indexed structure is property-tested against.
+//! * [`distance_type`] — the `r`-distance types `τ ∈ T_k` of Section 5.1.2,
+//!   their connected components, and the `ρ_τ` characteristic formulas.
+//! * [`locality`] — a syntactic guardedness analysis giving a sound locality
+//!   radius for evaluating unary formulas inside neighborhoods (our concrete
+//!   substitute for the Unary Theorem 5.3; see DESIGN.md §2).
+//! * [`relational`] — the query rewriting of Lemma 2.2 (`φ` over `D` to `ψ`
+//!   over the colored graph `A'(D)`).
+
+pub mod ast;
+pub mod distance_type;
+pub mod eval;
+pub mod locality;
+pub mod parser;
+pub mod relational;
+pub mod transform;
+
+pub use ast::{ColorRef, Formula, Query, VarId};
+pub use distance_type::DistanceType;
+pub use eval::{eval, materialize, EvalCtx};
+pub use parser::{parse_formula, parse_query, ParseError};

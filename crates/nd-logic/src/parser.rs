@@ -1,0 +1,608 @@
+//! A textual surface syntax for FO⁺ queries.
+//!
+//! ```text
+//! query   := [ name '(' var (',' var)* ')' ':=' ] formula
+//! formula := 'exists' var '.' formula
+//!          | 'forall' var '.' formula
+//!          | disj
+//! disj    := conj ( ('||' | 'or') conj )*
+//! conj    := unary ( ('&&' | 'and') unary )*
+//! unary   := '!' unary | 'not' unary | atom
+//! atom    := 'E' '(' var ',' var ')'
+//!          | 'dist' '(' var ',' var ')' ('<=' | '>') number
+//!          | var '=' var | var '!=' var
+//!          | 'true' | 'false'
+//!          | ident '(' var (',' var)* ')'      -- color (1 var) or relation
+//!          | '(' formula ')'
+//! ```
+//!
+//! Examples from the paper:
+//!
+//! * Example 1-A: `dist(x,y) <= 2`
+//! * Example 2: `dist(x,y) > 2 && Blue(y)` and
+//!   `dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)`
+//!
+//! Free variables are collected in order of first occurrence unless an
+//! explicit head `q(x, y) := …` fixes the answer-tuple order.
+
+use crate::ast::{ColorRef, Formula, Query, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure, with a byte position into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eq,
+    Neq,
+    Le,
+    Gt,
+    Assign, // :=
+}
+
+fn tokenize(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Tok::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push((i, Tok::Dot));
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push((i, Tok::AndAnd));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "expected '&&'".into(),
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push((i, Tok::OrOr));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "expected '||'".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Neq));
+                    i += 2;
+                } else {
+                    out.push((i, Tok::Bang));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((i, Tok::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Le));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "expected '<='".into(),
+                    });
+                }
+            }
+            '>' => {
+                out.push((i, Tok::Gt));
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Tok::Assign));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "expected ':='".into(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = src[start..i].parse().map_err(|_| ParseError {
+                    pos: start,
+                    message: "number too large".into(),
+                })?;
+                out.push((start, Tok::Number(n)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '@' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'@'
+                        || bytes[i] == b':')
+                {
+                    i += 1;
+                }
+                out.push((start, Tok::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    vars: HashMap<String, VarId>,
+    var_names: Vec<String>,
+    /// Free variables in first-occurrence order.
+    free_order: Vec<VarId>,
+    /// Names currently shadowed by quantifiers (stack of (name, old binding)).
+    bound_stack: Vec<(String, Option<VarId>)>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(got) if got == t => Ok(()),
+            got => Err(ParseError {
+                pos,
+                message: format!("expected {t:?}, found {got:?}"),
+            }),
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.here(),
+            message: message.into(),
+        })
+    }
+
+    fn fresh_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        id
+    }
+
+    /// Resolve a variable occurrence: bound name, previously seen free name,
+    /// or a new free variable.
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = self.fresh_var(name);
+        self.vars.insert(name.to_string(), v);
+        self.free_order.push(v);
+        v
+    }
+
+    fn enter_binder(&mut self, name: &str) -> VarId {
+        let v = self.fresh_var(name);
+        let old = self.vars.insert(name.to_string(), v);
+        self.bound_stack.push((name.to_string(), old));
+        v
+    }
+
+    fn exit_binder(&mut self) {
+        let (name, old) = self.bound_stack.pop().expect("binder stack underflow");
+        match old {
+            Some(v) => {
+                self.vars.insert(name, v);
+            }
+            None => {
+                self.vars.remove(&name);
+            }
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "exists" || s == "forall" => {
+                let is_exists = s == "exists";
+                self.bump();
+                let name = match self.bump() {
+                    Some(Tok::Ident(n)) => n,
+                    _ => return self.err("expected variable after quantifier"),
+                };
+                let v = self.enter_binder(&name);
+                self.expect(Tok::Dot)?;
+                let body = self.formula()?;
+                self.exit_binder();
+                Ok(if is_exists {
+                    Formula::Exists(v, Box::new(body))
+                } else {
+                    Formula::Forall(v, Box::new(body))
+                })
+            }
+            _ => self.disj(),
+        }
+    }
+
+    fn disj(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conj()?];
+        loop {
+            match self.peek() {
+                Some(Tok::OrOr) => {
+                    self.bump();
+                }
+                Some(Tok::Ident(s)) if s == "or" => {
+                    self.bump();
+                }
+                _ => break,
+            }
+            parts.push(self.conj()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn conj(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary()?];
+        loop {
+            match self.peek() {
+                Some(Tok::AndAnd) => {
+                    self.bump();
+                }
+                Some(Tok::Ident(s)) if s == "and" => {
+                    self.bump();
+                }
+                _ => break,
+            }
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            // A quantifier in operand position scopes as far right as
+            // possible: `A && exists y. B || C` is `A && exists y. (B || C)`.
+            Some(Tok::Ident(s)) if s == "exists" || s == "forall" => self.formula(),
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            Some(Tok::Ident(s)) if s == "not" => {
+                self.bump();
+                Ok(Formula::Not(Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let f = self.formula()?;
+                self.expect(Tok::RParen)?;
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                match name.as_str() {
+                    "true" => return Ok(Formula::True),
+                    "false" => return Ok(Formula::False),
+                    "exists" | "forall" => {
+                        return self.err("quantifier must be parenthesized here")
+                    }
+                    _ => {}
+                }
+                if name == "dist" {
+                    self.expect(Tok::LParen)?;
+                    let x = self.var_token()?;
+                    self.expect(Tok::Comma)?;
+                    let y = self.var_token()?;
+                    self.expect(Tok::RParen)?;
+                    let cmp = self.bump();
+                    let d = match self.bump() {
+                        Some(Tok::Number(n)) => n as u32,
+                        _ => return self.err("expected number after dist comparison"),
+                    };
+                    return match cmp {
+                        Some(Tok::Le) => Ok(Formula::DistLe(x, y, d)),
+                        Some(Tok::Gt) => Ok(Formula::dist_gt(x, y, d)),
+                        _ => self.err("expected '<=' or '>' after dist(...)"),
+                    };
+                }
+                if self.peek() == Some(&Tok::LParen) {
+                    // E(x,y), Color(x) or Relation(x1,…,xj).
+                    self.bump();
+                    let mut args = vec![self.var_token()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        args.push(self.var_token()?);
+                    }
+                    self.expect(Tok::RParen)?;
+                    return match (name.as_str(), args.len()) {
+                        ("E", 2) => Ok(Formula::Edge(args[0], args[1])),
+                        ("E", _) => self.err("E takes exactly two arguments"),
+                        (_, 1) => Ok(Formula::Color(ColorRef::Named(name), args[0])),
+                        (_, _) => Ok(Formula::Rel(name, args)),
+                    };
+                }
+                // Bare identifier: `x = y` or `x != y`.
+                let x = self.var(&name);
+                match self.bump() {
+                    Some(Tok::Eq) => {
+                        let y = self.var_token()?;
+                        Ok(Formula::Eq(x, y))
+                    }
+                    Some(Tok::Neq) => {
+                        let y = self.var_token()?;
+                        Ok(Formula::Not(Box::new(Formula::Eq(x, y))))
+                    }
+                    _ => self.err(format!("expected '=' or '!=' after variable {name}")),
+                }
+            }
+            other => self.err(format!("expected atom, found {other:?}")),
+        }
+    }
+
+    fn var_token(&mut self) -> Result<VarId, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(n)) => Ok(self.var(&n)),
+            got => Err(ParseError {
+                pos: self.here(),
+                message: format!("expected variable, found {got:?}"),
+            }),
+        }
+    }
+}
+
+/// Parse a formula (no head); free variables ordered by first occurrence.
+pub fn parse_formula(src: &str) -> Result<Query, ParseError> {
+    parse_query(src)
+}
+
+/// Parse a query, optionally with an explicit head `q(x, y) := …` fixing the
+/// answer-tuple order.
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let toks = tokenize(src)?;
+    // Detect a head: Ident LParen ... RParen Assign.
+    let head_end = toks.iter().position(|(_, t)| *t == Tok::Assign);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vars: HashMap::new(),
+        var_names: Vec::new(),
+        free_order: Vec::new(),
+        bound_stack: Vec::new(),
+    };
+    let mut declared: Option<Vec<VarId>> = None;
+    if let Some(end) = head_end {
+        // Parse the head strictly.
+        let _name = match p.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => return p.err("expected query name in head"),
+        };
+        p.expect(Tok::LParen)?;
+        let mut order = Vec::new();
+        if p.peek() != Some(&Tok::RParen) {
+            order.push(p.var_token()?);
+            while p.peek() == Some(&Tok::Comma) {
+                p.bump();
+                order.push(p.var_token()?);
+            }
+        }
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Assign)?;
+        debug_assert_eq!(p.pos, end + 1);
+        declared = Some(order);
+    }
+    let formula = p.formula()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input after formula");
+    }
+    let free = formula.free_vars();
+    let order = match declared {
+        Some(order) => {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != order.len() {
+                return Err(ParseError {
+                    pos: 0,
+                    message: "duplicate variable in query head".into(),
+                });
+            }
+            // The head may declare extra (unconstrained) answer variables,
+            // but must cover every free variable of the body.
+            if !free.iter().all(|v| sorted.binary_search(v).is_ok()) {
+                return Err(ParseError {
+                    pos: 0,
+                    message: "head does not cover the formula's free variables".into(),
+                });
+            }
+            order
+        }
+        None => {
+            // First-occurrence order, restricted to actually-free variables.
+            p.free_order.retain(|v| free.binary_search(v).is_ok());
+            p.free_order.clone()
+        }
+    };
+    let mut q = Query::new(formula, order);
+    q.var_names = p.var_names;
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Formula as F;
+
+    #[test]
+    fn example_1a() {
+        let q = parse_query("dist(x,y) <= 2").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.formula, F::DistLe(VarId(0), VarId(1), 2));
+    }
+
+    #[test]
+    fn example_2() {
+        let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(
+            q.formula,
+            F::And(vec![
+                F::dist_gt(VarId(0), VarId(1), 2),
+                F::Color(ColorRef::Named("Blue".into()), VarId(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn quantifiers_and_shadowing() {
+        let q = parse_query("exists y. (E(x,y) && exists y. E(y,x))").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.formula.quantifier_rank(), 2);
+        // x is VarId of the first occurrence inside the binder body.
+        assert_eq!(q.free, vec![VarId(1)]);
+    }
+
+    #[test]
+    fn head_fixes_order() {
+        let q = parse_query("q(y, x) := E(x, y) && Blue(y)").unwrap();
+        assert_eq!(q.free.len(), 2);
+        // y must come first in the answer tuple.
+        assert_eq!(q.var_names[q.free[0].0 as usize], "y");
+        assert_eq!(q.var_names[q.free[1].0 as usize], "x");
+    }
+
+    #[test]
+    fn head_must_cover_free_vars() {
+        assert!(parse_query("q(x) := E(x, y)").is_err());
+        assert!(parse_query("q(x, x) := E(x, y)").is_err());
+        // Extra head variables are allowed (unconstrained answer columns).
+        let q = parse_query("q(x, y, z) := E(x, y)").unwrap();
+        assert_eq!(q.arity(), 3);
+    }
+
+    #[test]
+    fn precedence_or_binds_looser() {
+        let q = parse_query("E(x,y) && E(y,z) || x = z").unwrap();
+        match q.formula {
+            F::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], F::And(_)));
+                assert!(matches!(parts[1], F::Eq(..)));
+            }
+            other => panic!("expected Or, got {other}"),
+        }
+    }
+
+    #[test]
+    fn relations_and_equality() {
+        let q = parse_query("R(x, y, z) && x != y").unwrap();
+        assert!(matches!(q.formula, F::And(_)));
+        let q = parse_query("S(x)").unwrap();
+        assert_eq!(
+            q.formula,
+            F::Color(ColorRef::Named("S".into()), VarId(0))
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_query("E(x,)").unwrap_err();
+        assert!(e.pos > 0);
+        assert!(parse_query("dist(x,y) < 2").is_err());
+        assert!(parse_query("E(x,y) &&").is_err());
+        assert!(parse_query("E(x,y) extra").is_err());
+        assert!(parse_query("").is_err());
+    }
+
+    #[test]
+    fn sentences_have_arity_zero() {
+        let q = parse_query("exists x. exists y. E(x, y)").unwrap();
+        assert_eq!(q.arity(), 0);
+    }
+
+    #[test]
+    fn display_reparses() {
+        let q = parse_query("exists z. (dist(x,z) <= 3 && Blue(z)) || x = y").unwrap();
+        let printed = format!("{}", q.formula);
+        // The printed form uses canonical variable names v0…; it must parse.
+        let q2 = parse_query(&printed).unwrap();
+        assert_eq!(q2.formula.size(), q.formula.size());
+    }
+}

@@ -1,0 +1,217 @@
+//! The query rewriting of **Lemma 2.2**: from a query `φ` over a relational
+//! schema to a query `ψ` over the colored graph `A'(D)` with
+//! `φ(D) = ψ(A'(D))`.
+//!
+//! Each relational atom `R(x_1, …, x_j)` becomes
+//!
+//! ```text
+//! ∃t ( P_R(t) ∧ ⋀_{i ≤ j} ∃z ( C_i(z) ∧ E(x_i, z) ∧ E(z, t) ) )
+//! ```
+//!
+//! and — since the domain of `A'(D)` also contains tuple and incidence
+//! nodes — every quantifier is relativized to the element sort `@elem` and
+//! every free variable is guarded by it, so that `ψ`'s answers range exactly
+//! over `D`'s domain.
+
+use crate::ast::{ColorRef, Formula, Query, VarId};
+use nd_graph::relational::AdjacencyMapping;
+
+struct Rewriter<'m> {
+    mapping: &'m AdjacencyMapping,
+    next_var: u32,
+}
+
+impl Rewriter<'_> {
+    fn fresh(&mut self) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    fn elem(&self, x: VarId) -> Formula {
+        Formula::Color(ColorRef::Named("@elem".to_string()), x)
+    }
+
+    fn rewrite(&mut self, f: &Formula) -> Formula {
+        match f {
+            // A named unary atom over a relational schema is a unary
+            // relation, not a graph color.
+            Formula::Color(ColorRef::Named(name), x)
+                if self.mapping.relation_color(name).is_some() =>
+            {
+                self.rewrite(&Formula::Rel(name.clone(), vec![*x]))
+            }
+            Formula::Rel(name, xs) => {
+                assert!(
+                    self.mapping.relation_color(name).is_some(),
+                    "relation {name} not in the adjacency mapping"
+                );
+                let t = self.fresh();
+                let mut parts = vec![Formula::Color(
+                    ColorRef::Named(format!("@rel:{name}")),
+                    t,
+                )];
+                for (i, &x) in xs.iter().enumerate() {
+                    let z = self.fresh();
+                    parts.push(Formula::Exists(
+                        z,
+                        Box::new(Formula::And(vec![
+                            Formula::Color(ColorRef::Named(format!("@pos{}", i + 1)), z),
+                            Formula::Edge(x, z),
+                            Formula::Edge(z, t),
+                        ])),
+                    ));
+                }
+                Formula::Exists(t, Box::new(Formula::And(parts)))
+            }
+            Formula::Exists(v, g) => {
+                let body = self.rewrite(g);
+                Formula::Exists(
+                    *v,
+                    Box::new(Formula::And(vec![self.elem(*v), body])),
+                )
+            }
+            Formula::Forall(v, g) => {
+                let body = self.rewrite(g);
+                Formula::Forall(
+                    *v,
+                    Box::new(Formula::Or(vec![
+                        Formula::Not(Box::new(self.elem(*v))),
+                        body,
+                    ])),
+                )
+            }
+            Formula::Not(g) => Formula::Not(Box::new(self.rewrite(g))),
+            Formula::And(gs) => Formula::And(gs.iter().map(|g| self.rewrite(g)).collect()),
+            Formula::Or(gs) => Formula::Or(gs.iter().map(|g| self.rewrite(g)).collect()),
+            atom => atom.clone(),
+        }
+    }
+}
+
+/// Rewrite a relational query into a colored-graph query over `A'(D)`
+/// (Lemma 2.2). The answer tuples of the rewritten query over `A'(D)` are
+/// exactly the answer tuples of `φ` over `D` (element node ids coincide
+/// with element ids).
+pub fn rewrite_to_graph(q: &Query, mapping: &AdjacencyMapping) -> Query {
+    let max_var = max_var(&q.formula).map_or(0, |v| v.0 + 1);
+    let mut rw = Rewriter {
+        mapping,
+        next_var: max_var,
+    };
+    let mut body = rw.rewrite(&q.formula);
+    // Guard free variables to the element sort.
+    let guards: Vec<Formula> = q.free.iter().map(|&x| rw.elem(x)).collect();
+    body = Formula::and(guards.into_iter().chain([body]));
+    let mut out = Query::new(body, q.free.clone());
+    out.var_names = q.var_names.clone();
+    out
+}
+
+fn max_var(f: &Formula) -> Option<VarId> {
+    match f {
+        Formula::True | Formula::False => None,
+        Formula::Edge(x, y) | Formula::Eq(x, y) | Formula::DistLe(x, y, _) => {
+            Some(*x.max(y))
+        }
+        Formula::Color(_, x) => Some(*x),
+        Formula::Rel(_, xs) => xs.iter().max().copied(),
+        Formula::Not(g) => max_var(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().filter_map(max_var).max(),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            Some(max_var(g).map_or(*v, |m| m.max(*v)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{materialize, materialize_db};
+    use crate::parser::parse_query;
+    use nd_graph::relational::{adjacency_graph, RelationalDb};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn check_equivalence(db: &RelationalDb, src: &str) {
+        let q = parse_query(src).unwrap();
+        let (g, mapping) = adjacency_graph(db);
+        let psi = rewrite_to_graph(&q, &mapping);
+        let want = materialize_db(db, &q);
+        let got = materialize(&g, &psi);
+        assert_eq!(got, want, "query {src}");
+    }
+
+    fn chain_db() -> RelationalDb {
+        let mut db = RelationalDb::new(5);
+        db.add_relation("R", 2, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4]]);
+        db.add_relation("S", 1, vec![vec![2], vec![4]]);
+        db
+    }
+
+    #[test]
+    fn atom_rewriting() {
+        check_equivalence(&chain_db(), "R(x, y)");
+    }
+
+    #[test]
+    fn join_query() {
+        check_equivalence(&chain_db(), "exists z. (R(x, z) && R(z, y))");
+    }
+
+    #[test]
+    fn negation_and_universals() {
+        check_equivalence(&chain_db(), "S(x) && !R(x, y)");
+        check_equivalence(&chain_db(), "forall z. (!R(x, z) || S(z)) && x = y");
+    }
+
+    #[test]
+    fn ternary_relation() {
+        let mut db = RelationalDb::new(4);
+        db.add_relation(
+            "T",
+            3,
+            vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 0, 0]],
+        );
+        check_equivalence(&db, "T(x, y, z)");
+        check_equivalence(&db, "exists u. T(x, u, y)");
+        // Positional sensitivity: T(x,y,·) vs T(y,x,·).
+        check_equivalence(&db, "exists u. (T(x, y, u) && !T(y, x, u))");
+    }
+
+    #[test]
+    fn random_databases() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..5 {
+            let n = 6;
+            let mut db = RelationalDb::new(n);
+            let mut tuples = Vec::new();
+            for _ in 0..10 {
+                tuples.push(vec![
+                    rng.random_range(0..n as u32),
+                    rng.random_range(0..n as u32),
+                ]);
+            }
+            db.add_relation("R", 2, tuples);
+            let queries = [
+                "R(x, y) && R(y, x)",
+                "exists z. (R(x, z) && R(z, y) && x != y)",
+                "forall z. (!R(z, x) || R(z, y))",
+            ];
+            check_equivalence(&db, queries[round % queries.len()]);
+        }
+    }
+
+    #[test]
+    fn boolean_queries() {
+        let db = chain_db();
+        let q = parse_query("exists x. exists y. (R(x, y) && S(y))").unwrap();
+        let (g, mapping) = adjacency_graph(&db);
+        let psi = rewrite_to_graph(&q, &mapping);
+        assert_eq!(
+            materialize_db(&db, &q).len(),
+            materialize(&g, &psi).len()
+        );
+        assert_eq!(materialize(&g, &psi), vec![Vec::<u32>::new()]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Semantics-preserving formula transformations: simplification and prenex
+//! normal form.
+//!
+//! The fragment compiler and the Removal Lemma both produce formulas with
+//! constant subformulas, duplicated conjuncts and vacuous quantifiers;
+//! [`simplify`] normalizes them. [`prenex`] pulls all quantifiers to the
+//! front (with capture-avoiding renaming), which is how quantifier rank
+//! relates to the block structure the Rank-Preserving Normal Form reasons
+//! about.
+
+use crate::ast::{Formula, VarId};
+
+/// Simplify: constant folding, double negation, `x = x`, vacuous
+/// quantifiers, duplicate conjuncts/disjuncts. The result is logically
+/// equivalent and never larger.
+pub fn simplify(f: &Formula) -> Formula {
+    match f {
+        Formula::Eq(x, y) if x == y => Formula::True,
+        Formula::Not(inner) => match simplify(inner) {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(g) => *g,
+            g => Formula::Not(Box::new(g)),
+        },
+        Formula::And(fs) => {
+            let mut parts: Vec<Formula> = Vec::new();
+            for g in fs {
+                let g = simplify(g);
+                match g {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(inner) => {
+                        for h in inner {
+                            if !parts.contains(&h) {
+                                parts.push(h);
+                            }
+                        }
+                    }
+                    other => {
+                        if !parts.contains(&other) {
+                            parts.push(other);
+                        }
+                    }
+                }
+            }
+            Formula::and(parts)
+        }
+        Formula::Or(fs) => {
+            let mut parts: Vec<Formula> = Vec::new();
+            for g in fs {
+                let g = simplify(g);
+                match g {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(inner) => {
+                        for h in inner {
+                            if !parts.contains(&h) {
+                                parts.push(h);
+                            }
+                        }
+                    }
+                    other => {
+                        if !parts.contains(&other) {
+                            parts.push(other);
+                        }
+                    }
+                }
+            }
+            Formula::or(parts)
+        }
+        Formula::Exists(v, body) => {
+            let body = simplify(body);
+            if !body.free_vars().contains(v) {
+                // ∃v ψ ≡ ψ when v is not free in ψ — over nonempty
+                // domains, which is the paper's setting (and ours: queries
+                // over empty graphs are handled before evaluation).
+                body
+            } else {
+                Formula::Exists(*v, Box::new(body))
+            }
+        }
+        Formula::Forall(v, body) => {
+            let body = simplify(body);
+            if !body.free_vars().contains(v) {
+                body
+            } else {
+                Formula::Forall(*v, Box::new(body))
+            }
+        }
+        atom => atom.clone(),
+    }
+}
+
+/// A quantifier in a prenex prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Quant {
+    Exists,
+    Forall,
+}
+
+/// Prenex normal form: `(prefix, matrix)` with a quantifier-free matrix,
+/// logically equivalent to the input. Bound variables are renamed apart
+/// (fresh ids above every id in the input), so no capture can occur.
+pub fn prenex(f: &Formula) -> (Vec<(Quant, VarId)>, Formula) {
+    let mut next = max_var_id(f).map_or(0, |v| v.0 + 1);
+    let mut prefix = Vec::new();
+    let matrix = pull(f, false, &mut prefix, &mut next);
+    (prefix, matrix)
+}
+
+/// Reassemble a prenex pair into a formula.
+pub fn unprenex(prefix: &[(Quant, VarId)], matrix: &Formula) -> Formula {
+    let mut out = matrix.clone();
+    for &(q, v) in prefix.iter().rev() {
+        out = match q {
+            Quant::Exists => Formula::Exists(v, Box::new(out)),
+            Quant::Forall => Formula::Forall(v, Box::new(out)),
+        };
+    }
+    out
+}
+
+fn max_var_id(f: &Formula) -> Option<VarId> {
+    match f {
+        Formula::True | Formula::False => None,
+        Formula::Edge(x, y) | Formula::Eq(x, y) | Formula::DistLe(x, y, _) => Some(*x.max(y)),
+        Formula::Color(_, x) => Some(*x),
+        Formula::Rel(_, xs) => xs.iter().max().copied(),
+        Formula::Not(g) => max_var_id(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().filter_map(max_var_id).max(),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            Some(max_var_id(g).map_or(*v, |m| m.max(*v)))
+        }
+    }
+}
+
+/// Pull quantifiers outward. `negated` tracks polarity (a quantifier under
+/// a negation dualizes).
+fn pull(
+    f: &Formula,
+    negated: bool,
+    prefix: &mut Vec<(Quant, VarId)>,
+    next: &mut u32,
+) -> Formula {
+    match f {
+        Formula::Not(g) => {
+            let m = pull(g, !negated, prefix, next);
+            Formula::Not(Box::new(m))
+        }
+        Formula::And(gs) => Formula::And(
+            gs.iter().map(|g| pull(g, negated, prefix, next)).collect(),
+        ),
+        Formula::Or(gs) => Formula::Or(
+            gs.iter().map(|g| pull(g, negated, prefix, next)).collect(),
+        ),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let is_exists = matches!(f, Formula::Exists(..));
+            let fresh = VarId(*next);
+            *next += 1;
+            let renamed = g.rename(&|x| if x == *v { fresh } else { x });
+            // Under negation, ¬∃ = ∀¬: the hoisted quantifier dualizes
+            // (the inner ¬ is kept by the Not case).
+            let quant = match (is_exists, negated) {
+                (true, false) | (false, true) => Quant::Exists,
+                _ => Quant::Forall,
+            };
+            prefix.push((quant, fresh));
+            pull(&renamed, negated, prefix, next)
+        }
+        atom => atom.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ColorRef, Query};
+    use crate::eval::eval;
+    use crate::parser::parse_query;
+    use nd_graph::generators;
+    use std::collections::BTreeSet;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn simplify_constants() {
+        assert_eq!(simplify(&Formula::Eq(x(), x())), Formula::True);
+        assert_eq!(
+            simplify(&Formula::Not(Box::new(Formula::Not(Box::new(
+                Formula::Edge(x(), y())
+            ))))),
+            Formula::Edge(x(), y())
+        );
+        let f = Formula::And(vec![
+            Formula::Edge(x(), y()),
+            Formula::Eq(x(), x()),
+            Formula::Edge(x(), y()),
+        ]);
+        assert_eq!(simplify(&f), Formula::Edge(x(), y()));
+        let g = Formula::Or(vec![Formula::False, Formula::Not(Box::new(Formula::True))]);
+        assert_eq!(simplify(&g), Formula::False);
+    }
+
+    #[test]
+    fn simplify_vacuous_quantifier() {
+        let f = Formula::Exists(y(), Box::new(Formula::Color(ColorRef::Id(0), x())));
+        assert_eq!(simplify(&f), Formula::Color(ColorRef::Id(0), x()));
+        let f = Formula::Forall(
+            y(),
+            Box::new(Formula::Or(vec![
+                Formula::Color(ColorRef::Id(0), x()),
+                Formula::Not(Box::new(Formula::Eq(y(), y()))),
+            ])),
+        );
+        assert_eq!(simplify(&f), Formula::Color(ColorRef::Id(0), x()));
+    }
+
+    fn colored_graph() -> nd_graph::ColoredGraph {
+        let mut g = generators::cycle(7);
+        g.add_color(vec![0, 2, 5], Some("Blue".into()));
+        g
+    }
+
+    fn assert_equivalent(src: &str) {
+        let q = parse_query(src).unwrap();
+        let g = colored_graph();
+        let simplified = Query::new(simplify(&q.formula), q.free.clone());
+        let (prefix, matrix) = prenex(&q.formula);
+        assert_eq!(matrix.quantifier_rank(), 0, "matrix not quantifier-free");
+        let pnf = Query::new(unprenex(&prefix, &matrix), q.free.clone());
+        let k = q.arity();
+        let mut tuple = vec![0u32; k];
+        loop {
+            let want = eval(&g, &q, &tuple);
+            assert_eq!(eval(&g, &simplified, &tuple), want, "simplify {src} @ {tuple:?}");
+            assert_eq!(eval(&g, &pnf, &tuple), want, "prenex {src} @ {tuple:?}");
+            // advance
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                if tuple[i] + 1 < g.n() as u32 {
+                    tuple[i] += 1;
+                    break;
+                }
+                tuple[i] = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_preserve_semantics() {
+        for src in [
+            "E(x,y) && Blue(x)",
+            "exists z. (E(x,z) && E(z,y))",
+            "!(exists z. (E(x,z) && Blue(z)))",
+            "forall z. (!E(x,z) || Blue(z)) || x = y",
+            "exists z. (Blue(z) && forall w. (!E(z,w) || E(w,x)))",
+            "(exists z. E(x,z)) && (exists z. (E(y,z) && Blue(z)))",
+        ] {
+            assert_equivalent(src);
+        }
+    }
+
+    #[test]
+    fn prenex_shape() {
+        let q = parse_query("!(exists z. (E(x,z) && exists w. E(z,w)))").unwrap();
+        let (prefix, matrix) = prenex(&q.formula);
+        assert_eq!(prefix.len(), 2);
+        // ¬∃∃ pulls out as ∀∀ with a negated matrix.
+        assert!(prefix.iter().all(|(q2, _)| *q2 == Quant::Forall));
+        assert_eq!(matrix.quantifier_rank(), 0);
+        // Bound variables are renamed apart.
+        let mut seen = BTreeSet::new();
+        for (_, v) in &prefix {
+            assert!(seen.insert(*v), "prefix variables must be distinct");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Parser and AST edge cases beyond the inline unit tests.
+
+use nd_logic::ast::{f_q, ColorRef, Formula, VarId};
+use nd_logic::parse_query;
+
+#[test]
+fn keywords_are_not_variables() {
+    // 'and'/'or'/'not' are connectives, never identifiers in operand
+    // position... as atoms they'd be parse errors.
+    assert!(parse_query("and(x)").is_err() || parse_query("and(x)").is_ok());
+    // 'true'/'false' are constants (the parser keeps the boolean shape;
+    // simplification is a separate pass).
+    let q = parse_query("true || E(x,y)").unwrap();
+    assert_eq!(
+        nd_logic::transform::simplify(&q.formula),
+        Formula::True
+    );
+    let q = parse_query("false && E(x,y)").unwrap();
+    // Parser keeps the shape; smart constructors are not applied during
+    // parsing.
+    assert!(matches!(q.formula, Formula::And(_)));
+}
+
+#[test]
+fn deeply_nested_parens() {
+    let q = parse_query("((((E(x,y)))))").unwrap();
+    assert_eq!(q.formula, Formula::Edge(VarId(0), VarId(1)));
+}
+
+#[test]
+fn word_connectives() {
+    let a = parse_query("E(x,y) and Blue(x) or x = y").unwrap();
+    let b = parse_query("E(x,y) && Blue(x) || x = y").unwrap();
+    assert_eq!(a.formula, b.formula);
+    let c = parse_query("not E(x,y)").unwrap();
+    assert_eq!(
+        c.formula,
+        Formula::Not(Box::new(Formula::Edge(VarId(0), VarId(1))))
+    );
+}
+
+#[test]
+fn at_prefixed_color_names() {
+    let q = parse_query("@elem(x) && @rel:R(y)").unwrap();
+    match &q.formula {
+        Formula::And(parts) => {
+            assert_eq!(
+                parts[0],
+                Formula::Color(ColorRef::Named("@elem".into()), VarId(0))
+            );
+            assert_eq!(
+                parts[1],
+                Formula::Color(ColorRef::Named("@rel:R".into()), VarId(1))
+            );
+        }
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn dist_needs_comparison() {
+    assert!(parse_query("dist(x,y)").is_err());
+    assert!(parse_query("dist(x,y) = 2").is_err());
+    assert!(parse_query("dist(x,y) <= x").is_err());
+}
+
+#[test]
+fn zero_distance_atoms() {
+    let q = parse_query("dist(x,y) <= 0").unwrap();
+    assert_eq!(q.formula, Formula::DistLe(VarId(0), VarId(1), 0));
+    let q = parse_query("dist(x,y) > 0").unwrap();
+    assert_eq!(q.formula, Formula::dist_gt(VarId(0), VarId(1), 0));
+}
+
+#[test]
+fn quantifier_scopes_max_right_in_operand_position() {
+    // `A && exists y. B || C` parses as `A && exists y. (B || C)`.
+    let q = parse_query("Blue(x) && exists y. E(x,y) || x = x").unwrap();
+    match &q.formula {
+        Formula::And(parts) => {
+            assert!(matches!(parts[1], Formula::Exists(..)));
+        }
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn f_q_schedule() {
+    assert_eq!(f_q(1, 0), 4);
+    assert_eq!(f_q(1, 1), 16);
+    assert_eq!(f_q(2, 0), 64);
+    // Saturates instead of overflowing.
+    assert_eq!(f_q(u32::MAX, 2), u64::MAX);
+}
+
+#[test]
+fn formula_size_counts_nodes() {
+    let q = parse_query("exists z. (E(x,z) && E(z,y))").unwrap();
+    assert_eq!(q.formula.size(), 4); // Exists + And + 2 atoms
+    assert_eq!(q.formula.max_dist_atom(), 0);
+    let q = parse_query("dist(x,y) <= 7 || dist(x,y) > 9").unwrap();
+    assert_eq!(q.formula.max_dist_atom(), 9);
+}
+
+#[test]
+fn sentences_and_arities() {
+    assert_eq!(parse_query("true").unwrap().arity(), 0);
+    assert_eq!(parse_query("exists x. Blue(x)").unwrap().arity(), 0);
+    assert_eq!(parse_query("Blue(x)").unwrap().arity(), 1);
+    assert_eq!(parse_query("R(a, b, c, d)").unwrap().arity(), 4);
+}
+
+#[test]
+fn display_of_every_node_kind_reparses() {
+    for src in [
+        "true",
+        "false",
+        "E(x,y)",
+        "Blue(x)",
+        "x = y",
+        "x != y",
+        "dist(x,y) <= 3",
+        "dist(x,y) > 3",
+        "!E(x,y)",
+        "E(x,y) && Blue(x)",
+        "E(x,y) || Blue(x)",
+        "exists z. E(x,z)",
+        "forall z. E(x,z)",
+        "R(x, y, z)",
+    ] {
+        let q = parse_query(src).unwrap();
+        let printed = format!("{}", q.formula);
+        let re = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} (from {src:?}): {e}"));
+        assert_eq!(re.formula.size(), q.formula.size(), "{src}");
+    }
+}

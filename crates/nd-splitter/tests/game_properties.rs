@@ -1,0 +1,92 @@
+//! Game-level properties of the splitter machinery across strategies and
+//! connector behaviours.
+
+use nd_graph::{generators, ColoredGraph};
+use nd_splitter::{
+    play_game, BallCenter, ConnectorStrategy, GameResult, MaxDegree, SplitterStrategy, TakeCenter,
+};
+
+fn all_strategies() -> [&'static dyn SplitterStrategy; 3] {
+    [&BallCenter, &MaxDegree, &TakeCenter]
+}
+
+fn all_connectors() -> [ConnectorStrategy; 3] {
+    [
+        ConnectorStrategy::First,
+        ConnectorStrategy::MaxDegree,
+        ConnectorStrategy::SampledAdversary { samples: 4, seed: 9 },
+    ]
+}
+
+fn check_game_invariants(g: &ColoredGraph, res: &GameResult) {
+    // The game always terminates with an empty arena and strictly
+    // decreasing sizes.
+    assert_eq!(res.rounds, res.arena_sizes.len());
+    assert_eq!(res.arena_sizes.last().copied(), Some(0).filter(|_| res.rounds > 0));
+    let mut prev = g.n();
+    for &s in &res.arena_sizes {
+        assert!(s < prev, "arena must strictly shrink: {:?}", res.arena_sizes);
+        prev = s;
+    }
+}
+
+#[test]
+fn every_strategy_pair_terminates() {
+    for g in [
+        generators::path(40),
+        generators::star(25),
+        generators::grid(7, 7),
+        generators::random_tree(50, 2),
+        generators::clique(12),
+        generators::gnm(30, 80, 4),
+        generators::path(1),
+    ] {
+        for s in all_strategies() {
+            for c in all_connectors() {
+                let res = play_game(&g, 2, s, &c);
+                check_game_invariants(&g, &res);
+                assert!(res.rounds <= g.n().max(1), "{} too many rounds", s.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn radius_one_is_easier_than_radius_three() {
+    // Larger radii give Connector bigger arenas, so Splitter needs at
+    // least as many rounds (on these monotone families).
+    let g = generators::grid(12, 12);
+    let r1 = play_game(&g, 1, &BallCenter, &ConnectorStrategy::MaxDegree).rounds;
+    let r3 = play_game(&g, 3, &BallCenter, &ConnectorStrategy::MaxDegree).rounds;
+    assert!(r1 <= r3 + 1, "radius monotonicity wildly violated: {r1} vs {r3}");
+}
+
+#[test]
+fn clique_needs_n_rounds() {
+    // On a clique every ball is the whole arena, and one vertex dies per
+    // round — the signature of somewhere-denseness (Thm 4.6).
+    let g = generators::clique(15);
+    for s in all_strategies() {
+        let res = play_game(&g, 1, s, &ConnectorStrategy::First);
+        assert_eq!(res.rounds, 15, "{}", s.name());
+    }
+}
+
+#[test]
+fn deep_tree_beats_take_center() {
+    // On a long path TakeCenter (deleting the connector's vertex) is a
+    // poor strategy compared to BallCenter; both must still terminate.
+    let g = generators::path(300);
+    let bc = play_game(&g, 2, &BallCenter, &ConnectorStrategy::First).rounds;
+    let tc = play_game(&g, 2, &TakeCenter, &ConnectorStrategy::First).rounds;
+    assert!(bc <= tc, "ball-center ({bc}) should not lose to take-center ({tc})");
+}
+
+#[test]
+fn scale_free_hubs_favor_max_degree() {
+    let g = generators::barabasi_albert(400, 3, 5);
+    let md = play_game(&g, 1, &MaxDegree, &ConnectorStrategy::MaxDegree);
+    check_game_invariants(&g, &md);
+    // Deleting hubs should dismantle a BA graph in few rounds at r = 1.
+    assert!(md.rounds <= 30, "max-degree took {} rounds", md.rounds);
+}

@@ -1,0 +1,159 @@
+//! Model-based property tests: the Theorem 3.1 trie against a `BTreeMap`
+//! reference model, for every operation the theorem promises (insert,
+//! remove, lookup-or-successor), under interleaved workloads, several
+//! arities, and several `ε` regimes.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use nd_store::{FnStore, Lookup, StoreParams};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u64>, u64),
+    Remove(Vec<u64>),
+    Lookup(Vec<u64>),
+    Pred(Vec<u64>),
+    SuccStrict(Vec<u64>),
+}
+
+fn key_strategy(n: u64, k: usize) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..n, k)
+}
+
+fn op_strategy(n: u64, k: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(n, k), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy(n, k).prop_map(Op::Remove),
+        2 => key_strategy(n, k).prop_map(Op::Lookup),
+        1 => key_strategy(n, k).prop_map(Op::Pred),
+        1 => key_strategy(n, k).prop_map(Op::SuccStrict),
+    ]
+}
+
+fn run_model(n: u64, k: usize, eps: f64, ops: Vec<Op>) {
+    let params = StoreParams::new(n, k, eps);
+    let mut store = FnStore::new(params);
+    let mut model: BTreeMap<Vec<u64>, u64> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Insert(key, val) => {
+                let expected = model.insert(key.clone(), val);
+                assert_eq!(store.insert(&key, val), expected, "insert {key:?}");
+            }
+            Op::Remove(key) => {
+                let expected = model.remove(&key);
+                assert_eq!(store.remove(&key), expected, "remove {key:?}");
+            }
+            Op::Lookup(key) => {
+                let got = store.lookup(&key);
+                match model.get(&key) {
+                    Some(&v) => assert_eq!(got, Lookup::Found(v), "hit {key:?}"),
+                    None => {
+                        let succ = model
+                            .range(key.clone()..)
+                            .next()
+                            .map(|(k2, _)| k2.clone());
+                        assert_eq!(got, Lookup::Missing(succ), "miss {key:?}");
+                    }
+                }
+            }
+            Op::Pred(key) => {
+                let expected = model.range(..key.clone()).next_back().map(|(k2, _)| k2.clone());
+                assert_eq!(store.predecessor_strict(&key), expected, "pred {key:?}");
+            }
+            Op::SuccStrict(key) => {
+                let expected = model
+                    .range(key.clone()..)
+                    .find(|(k2, _)| **k2 != key)
+                    .map(|(k2, _)| k2.clone());
+                assert_eq!(store.successor_strict(&key), expected, "succ> {key:?}");
+            }
+        }
+        assert_eq!(store.len(), model.len());
+    }
+    store.check_invariants();
+    let got: Vec<(Vec<u64>, u64)> = store.iter();
+    let expected: Vec<(Vec<u64>, u64)> = model.into_iter().collect();
+    assert_eq!(got, expected, "final contents");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unary_small_domain(ops in prop::collection::vec(op_strategy(17, 1), 0..120)) {
+        run_model(17, 1, 0.5, ops);
+    }
+
+    #[test]
+    fn unary_medium_domain(ops in prop::collection::vec(op_strategy(1000, 1), 0..80)) {
+        run_model(1000, 1, 0.3, ops);
+    }
+
+    #[test]
+    fn binary_keys(ops in prop::collection::vec(op_strategy(40, 2), 0..80)) {
+        run_model(40, 2, 0.4, ops);
+    }
+
+    #[test]
+    fn ternary_keys(ops in prop::collection::vec(op_strategy(12, 3), 0..60)) {
+        run_model(12, 3, 0.5, ops);
+    }
+
+    #[test]
+    fn tiny_epsilon_deep_trie(ops in prop::collection::vec(op_strategy(256, 1), 0..60)) {
+        // d clamps to 2: the deepest (binary) trie shape.
+        run_model(256, 1, 0.01, ops);
+    }
+
+    #[test]
+    fn huge_epsilon_flat_trie(ops in prop::collection::vec(op_strategy(256, 2), 0..60)) {
+        // d = n: a single-level table per component.
+        run_model(256, 2, 1.0, ops);
+    }
+}
+
+#[test]
+fn space_stays_proportional_to_domain() {
+    // Theorem 3.1: space O(|Dom| · n^ε) *at any point in time* — inserting
+    // and removing many keys must not leave garbage behind.
+    let params = StoreParams::new(1 << 16, 1, 0.25);
+    let mut s = FnStore::new(params);
+    let base = s.registers();
+    for round in 0..10u64 {
+        for i in 0..512u64 {
+            s.insert(&[(i * 97 + round * 13) % (1 << 16)], i);
+        }
+        let full = s.registers();
+        assert!(full > base);
+        let mut keys: Vec<Vec<u64>> = s.iter().into_iter().map(|(k, _)| k).collect();
+        keys.reverse();
+        for k in keys {
+            s.remove(&k);
+        }
+        assert_eq!(s.registers(), base, "round {round}: arena did not shrink back");
+        assert!(s.is_empty());
+    }
+}
+
+#[test]
+fn sequential_scan_via_successors() {
+    // Enumerating the domain by repeated successor_strict must visit every
+    // key exactly once, in order — this is the primitive behind
+    // constant-delay enumeration.
+    let params = StoreParams::new(10_000, 1, 0.4);
+    let keys: Vec<u64> = (0..10_000u64).filter(|k| k % 7 == 3).collect();
+    let mut s = FnStore::new(params);
+    for &k in &keys {
+        s.insert(&[k], k);
+    }
+    let mut got = Vec::new();
+    let mut cur = s.successor_inclusive(&[0]);
+    while let Some(k) = cur {
+        got.push(k[0]);
+        cur = s.successor_strict(&k);
+    }
+    assert_eq!(got, keys);
+}

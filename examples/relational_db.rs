@@ -1,0 +1,106 @@
+//! End-to-end relational pipeline (Lemma 2.2): a relational database is
+//! reduced to its colored adjacency graph `A'(D)`, the query is rewritten,
+//! and the colored-graph machinery answers it.
+//!
+//! The database is a sparse citation-style schema:
+//!   `Cites(paper, paper)`, `InArea(paper)` (a unary "database theory" flag).
+//!
+//! ```sh
+//! cargo run --release --example relational_db
+//! ```
+
+use nowhere_dense::graph::relational::{adjacency_graph, RelationalDb};
+use nowhere_dense::logic::relational::rewrite_to_graph;
+use nowhere_dense::logic::{eval::materialize_db, parse_query};
+use nowhere_dense::core::{PrepareOpts, PreparedQuery};
+use std::time::Instant;
+
+fn main() {
+    // Build a sparse random citation database: each paper cites a handful
+    // of earlier papers (bounded out-degree keeps the adjacency graph in a
+    // sparse regime).
+    let papers = 4_000u32;
+    let mut cites = Vec::new();
+    let mut state = 0xabcdef1234u64;
+    let mut rnd = |m: u32| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % m.max(1) as u64) as u32
+    };
+    for p in 1..papers {
+        for _ in 0..3 {
+            cites.push(vec![p, rnd(p)]);
+        }
+    }
+    let db_theory: Vec<Vec<u32>> = (0..papers).filter(|p| p % 7 == 0).map(|p| vec![p]).collect();
+
+    let mut db = RelationalDb::new(papers as usize);
+    db.add_relation("Cites", 2, cites);
+    db.add_relation("InArea", 1, db_theory);
+    println!("database: {} papers, size {}", papers, db.size());
+
+    // The reduction of Section 2.
+    let t0 = Instant::now();
+    let (g, mapping) = adjacency_graph(&db);
+    println!(
+        "A'(D): {} nodes, {} edges (built in {:?})",
+        g.n(),
+        g.m(),
+        t0.elapsed()
+    );
+
+    // φ(x, y): x cites an in-area paper y.
+    let phi = parse_query("Cites(x, y) && InArea(y)").expect("valid query");
+    let psi = rewrite_to_graph(&phi, &mapping);
+    println!("rewritten query size: {} nodes", psi.formula.size());
+
+    // The rewritten query is outside the distance-type fragment (it has a
+    // quantified binary core), so PreparedQuery transparently uses the
+    // fallback engine — same API, honest cost.
+    let small = {
+        // Demonstrate exact agreement on a small sub-database first.
+        let mut small = RelationalDb::new(60);
+        let mut tuples = Vec::new();
+        for p in 1..60u32 {
+            tuples.push(vec![p, p / 2]);
+        }
+        small.add_relation("Cites", 2, tuples);
+        small.add_relation(
+            "InArea",
+            1,
+            (0..60u32).filter(|p| p % 3 == 0).map(|p| vec![p]).collect(),
+        );
+        small
+    };
+    let (gs, ms) = adjacency_graph(&small);
+    let phis = parse_query("Cites(x, y) && InArea(y)").unwrap();
+    let psis = rewrite_to_graph(&phis, &ms);
+    let via_db = materialize_db(&small, &phis);
+    let prepared = PreparedQuery::prepare(&gs, &psis, &PrepareOpts::default()).unwrap();
+    let via_graph: Vec<_> = prepared.enumerate().collect();
+    assert_eq!(via_db, via_graph, "Lemma 2.2: φ(D) = ψ(A'(D))");
+    println!(
+        "Lemma 2.2 verified on the small database: {} answers agree (engine {:?})",
+        via_db.len(),
+        prepared.engine_kind()
+    );
+
+    // On the big database, answer a *distance* query over A'(D) directly
+    // with the indexed engine: papers within citation-distance 2 hops in
+    // the adjacency graph (= sharing a citation link pattern), one of them
+    // in-area. Note graph distance 4 in A'(D) ≈ one Cites hop (element →
+    // incidence → tuple → incidence → element).
+    let q = parse_query("dist(x,y) <= 4 && @elem(x) && @elem(y) && x != y").unwrap();
+    let t0 = Instant::now();
+    let prepared = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap();
+    println!(
+        "indexed distance query prepared in {:?} ({:?})",
+        t0.elapsed(),
+        prepared.engine_kind()
+    );
+    let t0 = Instant::now();
+    let some: Vec<_> = prepared.enumerate().take(10).collect();
+    println!("first 10 citation-adjacent pairs ({:?}):", t0.elapsed());
+    for s in some {
+        println!("  papers {} ↔ {}", s[0], s[1]);
+    }
+}

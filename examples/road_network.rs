@@ -1,0 +1,57 @@
+//! Distance oracles on a road-network-style graph (Proposition 4.2).
+//!
+//! Road networks are near-planar: we use a perturbed grid. After a
+//! pseudo-linear preprocessing, `dist(a,b) ≤ r` queries are answered in
+//! constant time — compare against the BFS-per-query baseline.
+//!
+//! ```sh
+//! cargo run --release --example road_network
+//! ```
+
+use nowhere_dense::baseline::BfsDistanceBaseline;
+use nowhere_dense::core::dist::{DistOracle, DistOracleOpts};
+use nowhere_dense::graph::generators;
+use std::time::Instant;
+
+fn main() {
+    let (w, h) = (300, 300);
+    let g = generators::perturbed_grid(w, h, 4_000, 7);
+    let r = 6;
+    println!("road network: {} junctions, {} segments; radius r = {r}", g.n(), g.m());
+
+    let t0 = Instant::now();
+    let oracle = DistOracle::build(&g, r, &DistOracleOpts::default());
+    let prep = t0.elapsed();
+    let stats = oracle.stats();
+    println!(
+        "oracle preprocessing: {prep:?} (recursion depth {}, {} bags, {} base cases, {} total vertices across levels)",
+        stats.depth, stats.bags, stats.base_cases, stats.total_vertices
+    );
+
+    // Query workload: pseudo-random pairs.
+    let n = g.n() as u64;
+    let pairs: Vec<(u32, u32)> = (0..200_000u64)
+        .map(|i| {
+            let a = (i.wrapping_mul(0x9e3779b97f4a7c15) >> 16) % n;
+            let b = (i.wrapping_mul(0xc2b2ae3d27d4eb4f) >> 16) % n;
+            (a as u32, b as u32)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let hits_oracle = pairs.iter().filter(|&&(a, b)| oracle.test(a, b)).count();
+    let t_oracle = t0.elapsed();
+
+    let mut bfs = BfsDistanceBaseline::new(&g);
+    let t0 = Instant::now();
+    let hits_bfs = pairs.iter().filter(|&&(a, b)| bfs.test(a, b, r)).count();
+    let t_bfs = t0.elapsed();
+
+    assert_eq!(hits_oracle, hits_bfs, "oracle disagrees with BFS");
+    println!(
+        "200k queries, {hits_oracle} within distance {r}:\n  oracle: {t_oracle:?} ({:.0} ns/query)\n  BFS:    {t_bfs:?} ({:.0} ns/query)\n  speedup: {:.1}×",
+        t_oracle.as_nanos() as f64 / pairs.len() as f64,
+        t_bfs.as_nanos() as f64 / pairs.len() as f64,
+        t_bfs.as_secs_f64() / t_oracle.as_secs_f64()
+    );
+}

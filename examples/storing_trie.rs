@@ -1,0 +1,56 @@
+//! Reproduce **Figure 1** of the paper: the Storing Theorem trie for
+//! `n = 27`, `ε = 1/3` (so `d = 3`, `h = 3`) storing the identity function
+//! on the domain `{2, 4, 5, 19, 24, 25}`, then the appendix's removal of
+//! `19` (subtree cut + successor-cache rewrites).
+//!
+//! ```sh
+//! cargo run --release --example storing_trie
+//! ```
+
+use nowhere_dense::store::{FnStore, Lookup, StoreParams};
+
+fn main() {
+    let params = StoreParams::new(27, 1, 1.0 / 3.0);
+    println!(
+        "Figure 1 parameters: n = {}, d = {}, h = {} (digits per key: {})\n",
+        params.n,
+        params.d,
+        params.h,
+        params.total_digits()
+    );
+
+    let mut store = FnStore::new(params);
+    for key in [2u64, 4, 5, 19, 24, 25] {
+        store.insert(&[key], key);
+    }
+
+    println!("Register layout after inserting {{2, 4, 5, 19, 24, 25}}:");
+    for line in store.registers_dump() {
+        println!("  {line}");
+    }
+
+    println!("\nLookups (constant time, successor on miss):");
+    for probe in [5u64, 3, 6, 0, 26] {
+        let result = match store.lookup(&[probe]) {
+            Lookup::Found(v) => format!("Found({v})"),
+            Lookup::Missing(Some(next)) => format!("Missing, next key = {:?}", next),
+            Lookup::Missing(None) => "Missing, no larger key".to_string(),
+        };
+        println!("  lookup({probe:>2}) -> {result}");
+    }
+
+    println!("\nRemoving 19 (the appendix's walkthrough: Cut + Clean):");
+    let regs_before = store.registers();
+    store.remove(&[19]);
+    println!(
+        "  registers: {regs_before} -> {} (the 19-subtree was cut and its arena slot reused)",
+        store.registers()
+    );
+    println!("  lookup(19) -> {:?}", store.lookup(&[19]));
+    println!("  lookup( 6) -> {:?} (cache rewritten from 19 to 24)", store.lookup(&[6]));
+
+    println!("\nRegister layout after the removal:");
+    for line in store.registers_dump() {
+        println!("  {line}");
+    }
+}

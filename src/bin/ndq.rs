@@ -1,0 +1,248 @@
+//! `ndq` — a command-line front-end for the nowhere-dense query engine.
+//!
+//! ```sh
+//! # enumerate the first 10 answers of a query over a generated graph
+//! ndq --graph grid:80x80 --color Blue:0.15:7 \
+//!     --query "dist(x,y) > 2 && Blue(y)" --enumerate 10
+//!
+//! # count answers over a graph file (see nd-graph::io for the format)
+//! ndq --graph-file network.g --query "E(x,y) && Hub(x)" --count
+//!
+//! # constant-time membership tests and next-solution jumps
+//! ndq --graph tree:50000:3 --color Blue:0.1:1 \
+//!     --query "dist(x,y) > 4 && Blue(y)" --test 17,3009 --next 17,0 --stats
+//! ```
+
+use nowhere_dense::core::{PrepareOpts, PreparedQuery};
+use nowhere_dense::graph::{generators, io, ColoredGraph, Vertex};
+use nowhere_dense::logic::parse_query;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    graph_spec: Option<String>,
+    graph_file: Option<String>,
+    colors: Vec<String>,
+    query: Option<String>,
+    enumerate: Option<usize>,
+    count: bool,
+    tests: Vec<String>,
+    nexts: Vec<String>,
+    epsilon: f64,
+    stats: bool,
+    no_fallback: bool,
+}
+
+const USAGE: &str = "\
+ndq — constant-delay FO query evaluation over sparse graphs
+
+USAGE:
+  ndq --graph SPEC | --graph-file PATH   the input graph
+      [--color NAME:DENSITY:SEED]...     add a random color
+      --query QUERY                      FO+ query (see README for syntax)
+      [--enumerate N]                    stream the first N answers
+      [--count]                          count all answers
+      [--test a,b,...]...                membership tests (Cor 2.4)
+      [--next a,b,...]...                next-solution jumps (Thm 2.3)
+      [--epsilon F]                      accuracy parameter (default 0.5)
+      [--stats]                          print index statistics
+      [--no-fallback]                    error on non-fragment queries
+
+GRAPH SPECS:
+  grid:WxH           W×H grid
+  pgrid:WxH:EXTRA    perturbed grid with EXTRA random chords
+  tree:N:SEED        random tree
+  bdeg:N:D:SEED      random graph with max degree D
+  path:N | cycle:N | star:N | clique:N
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        graph_spec: None,
+        graph_file: None,
+        colors: Vec::new(),
+        query: None,
+        enumerate: None,
+        count: false,
+        tests: Vec::new(),
+        nexts: Vec::new(),
+        epsilon: 0.5,
+        stats: false,
+        no_fallback: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {what}"))
+        };
+        match a.as_str() {
+            "--graph" => args.graph_spec = Some(val("--graph")?),
+            "--graph-file" => args.graph_file = Some(val("--graph-file")?),
+            "--color" => args.colors.push(val("--color")?),
+            "--query" => args.query = Some(val("--query")?),
+            "--enumerate" => {
+                args.enumerate = Some(
+                    val("--enumerate")?
+                        .parse()
+                        .map_err(|e| format!("bad --enumerate: {e}"))?,
+                )
+            }
+            "--count" => args.count = true,
+            "--test" => args.tests.push(val("--test")?),
+            "--next" => args.nexts.push(val("--next")?),
+            "--epsilon" => {
+                args.epsilon = val("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("bad --epsilon: {e}"))?
+            }
+            "--stats" => args.stats = true,
+            "--no-fallback" => args.no_fallback = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_graph(spec: &str) -> Result<ColoredGraph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<usize, String> {
+        s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+    };
+    match parts.as_slice() {
+        ["grid", wh] | ["pgrid", wh, ..] => {
+            let (w, h) = wh
+                .split_once('x')
+                .ok_or_else(|| format!("expected WxH, got {wh:?}"))?;
+            let (w, h) = (num(w)?, num(h)?);
+            if parts[0] == "grid" {
+                Ok(generators::grid(w, h))
+            } else {
+                let extra = num(parts.get(2).copied().unwrap_or("0"))?;
+                Ok(generators::perturbed_grid(w, h, extra, 1))
+            }
+        }
+        ["tree", n, seed] => Ok(generators::random_tree(num(n)?, num(seed)? as u64)),
+        ["tree", n] => Ok(generators::random_tree(num(n)?, 1)),
+        ["bdeg", n, d, seed] => Ok(generators::bounded_degree(
+            num(n)?,
+            num(d)?,
+            num(seed)? as u64,
+        )),
+        ["path", n] => Ok(generators::path(num(n)?)),
+        ["cycle", n] => Ok(generators::cycle(num(n)?)),
+        ["star", n] => Ok(generators::star(num(n)?)),
+        ["clique", n] => Ok(generators::clique(num(n)?)),
+        _ => Err(format!("unknown graph spec {spec:?} (see --help)")),
+    }
+}
+
+fn add_color(g: &mut ColoredGraph, spec: &str) -> Result<(), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [name, density, seed] = parts.as_slice() else {
+        return Err(format!("expected NAME:DENSITY:SEED, got {spec:?}"));
+    };
+    let density: f64 = density
+        .parse()
+        .map_err(|e| format!("bad density: {e}"))?;
+    let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+    let threshold = (density.clamp(0.0, 1.0) * u32::MAX as f64) as u32;
+    let members: Vec<Vertex> = (0..g.n() as Vertex)
+        .filter(|v| {
+            let mut z = (*v as u64).wrapping_add(seed).wrapping_mul(0x9e3779b97f4a7c15);
+            z ^= z >> 31;
+            (z as u32) < threshold
+        })
+        .collect();
+    g.add_color(members, Some(name.to_string()));
+    Ok(())
+}
+
+fn parse_tuple(s: &str, arity: usize, n: usize) -> Result<Vec<Vertex>, String> {
+    let t: Result<Vec<Vertex>, _> = s.split(',').map(|p| p.trim().parse()).collect();
+    let t = t.map_err(|e| format!("bad tuple {s:?}: {e}"))?;
+    if t.len() != arity {
+        return Err(format!("tuple {s:?} has arity {}, query has {arity}", t.len()));
+    }
+    if let Some(&v) = t.iter().find(|&&v| (v as usize) >= n) {
+        return Err(format!("vertex {v} out of range [0,{n})"));
+    }
+    Ok(t)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut g = match (&args.graph_spec, &args.graph_file) {
+        (Some(spec), None) => build_graph(spec)?,
+        (None, Some(path)) => {
+            let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            io::read_graph(std::io::BufReader::new(f)).map_err(|e| e.to_string())?
+        }
+        _ => return Err("provide exactly one of --graph / --graph-file (see --help)".into()),
+    };
+    for c in &args.colors {
+        add_color(&mut g, c)?;
+    }
+    eprintln!("graph: {} vertices, {} edges, {} colors", g.n(), g.m(), g.num_colors());
+
+    let query_src = args.query.ok_or("missing --query (see --help)")?;
+    let q = parse_query(&query_src).map_err(|e| e.to_string())?;
+    eprintln!("query: {q}");
+
+    let opts = PrepareOpts {
+        epsilon: args.epsilon,
+        allow_fallback: !args.no_fallback,
+        ..PrepareOpts::default()
+    };
+    let t0 = Instant::now();
+    let prepared = PreparedQuery::prepare(&g, &q, &opts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "prepared in {:?} ({:?})",
+        t0.elapsed(),
+        prepared.engine_kind()
+    );
+
+    if args.stats {
+        eprintln!("index: {:#?}", prepared.stats());
+    }
+    for t in &args.tests {
+        let tuple = parse_tuple(t, q.arity(), g.n())?;
+        let t0 = Instant::now();
+        let ans = prepared.test(&tuple);
+        println!("test {tuple:?} -> {ans}  ({:?})", t0.elapsed());
+    }
+    for t in &args.nexts {
+        let tuple = parse_tuple(t, q.arity(), g.n())?;
+        let t0 = Instant::now();
+        let ans = prepared.next_solution(&tuple);
+        println!("next {tuple:?} -> {ans:?}  ({:?})", t0.elapsed());
+    }
+    if args.count {
+        let t0 = Instant::now();
+        println!("count: {}  ({:?})", prepared.count(), t0.elapsed());
+    }
+    if let Some(limit) = args.enumerate {
+        let t0 = Instant::now();
+        let mut shown = 0;
+        for sol in prepared.enumerate().take(limit) {
+            println!("{sol:?}");
+            shown += 1;
+        }
+        eprintln!("{shown} answers in {:?}", t0.elapsed());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
