@@ -57,5 +57,10 @@ fn bench_membership(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cover_build, bench_cover_radius, bench_membership);
+criterion_group!(
+    benches,
+    bench_cover_build,
+    bench_cover_radius,
+    bench_membership
+);
 criterion_main!(benches);

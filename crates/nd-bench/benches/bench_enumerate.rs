@@ -65,10 +65,11 @@ fn bench_ablation_extendability(c: &mut Criterion) {
     let mut g = GraphFamily::Grid.build(16_000, 9);
     let rare: Vec<u32> = (0..g.n() as u32).filter(|v| v % 301 == 7).collect();
     g.add_color(rare, Some("Blue".into()));
-    let q =
-        parse_query("Blue(x) && dist(x,y) > 4 && Blue(y) && dist(y,z) > 4 && Blue(z)").unwrap();
+    let q = parse_query("Blue(x) && dist(x,y) > 4 && Blue(y) && dist(y,z) > 4 && Blue(z)").unwrap();
+    let epsilon = nd_core::Epsilon::try_new(0.5).expect("valid accuracy");
     for check in [true, false] {
         let opts = PrepareOpts {
+            epsilon: epsilon.get(),
             extendability_check: check,
             ..PrepareOpts::default()
         };

@@ -14,11 +14,9 @@ fn bench_kernel_index(c: &mut Criterion) {
         let cover = Cover::build(&g, 4, 0.5);
         for p in [1u32, 2, 4] {
             group.throughput(Throughput::Elements(cover.total_bag_size() as u64));
-            group.bench_with_input(
-                BenchmarkId::new(f.name(), p),
-                &p,
-                |b, &p| b.iter(|| KernelIndex::build(&g, &cover, p)),
-            );
+            group.bench_with_input(BenchmarkId::new(f.name(), p), &p, |b, &p| {
+                b.iter(|| KernelIndex::build(&g, &cover, p))
+            });
         }
     }
     group.finish();

@@ -17,7 +17,10 @@ fn make_db(n: usize) -> RelationalDb {
     db.add_relation(
         "S",
         1,
-        (0..n as u32).filter(|p| p % 3 == 0).map(|p| vec![p]).collect(),
+        (0..n as u32)
+            .filter(|p| p % 3 == 0)
+            .map(|p| vec![p])
+            .collect(),
     );
     db
 }
@@ -44,7 +47,11 @@ fn bench_rewrite(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     let db = make_db(2_000);
     let (_, mapping) = adjacency_graph(&db);
-    for src in ["R(x, y)", "R(x, y) && S(y)", "exists z. (R(x, z) && R(z, y))"] {
+    for src in [
+        "R(x, y)",
+        "R(x, y) && S(y)",
+        "exists z. (R(x, z) && R(z, y))",
+    ] {
         let q = parse_query(src).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(src), &q, |b, q| {
             b.iter(|| rewrite_to_graph(q, &mapping))

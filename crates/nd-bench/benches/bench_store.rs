@@ -10,7 +10,11 @@ use std::hint::black_box;
 
 fn keys(n: u64, k: usize, count: usize, seed: u64) -> Vec<Vec<u64>> {
     (0..count as u64)
-        .map(|i| (0..k).map(|c| mix(i * k as u64 + c as u64, seed) % n).collect())
+        .map(|i| {
+            (0..k)
+                .map(|c| mix(i * k as u64 + c as u64, seed) % n)
+                .collect()
+        })
         .collect()
 }
 

@@ -14,7 +14,9 @@ use nd_core::{PrepareOpts, PreparedQuery, SkipPointers};
 use nd_cover::{Cover, KernelIndex};
 use nd_graph::stats::{degeneracy_ordering, max_weak_accessibility};
 use nd_logic::parse_query;
-use nd_splitter::{play_game, BallCenter, ConnectorStrategy, MaxDegree, SplitterStrategy, TakeCenter};
+use nd_splitter::{
+    play_game, BallCenter, ConnectorStrategy, MaxDegree, SplitterStrategy, TakeCenter,
+};
 use nd_store::{FnStore, Lookup, StoreParams};
 use std::time::Instant;
 
@@ -82,6 +84,9 @@ fn main() {
     if want("a3") {
         a3_sparse_vs_dense(&cfg);
     }
+    if want("a4") {
+        a4_budget_ladder(&cfg);
+    }
 }
 
 /// E1 — Storing Theorem (Thm 3.1): init ~ |Dom|·n^ε, lookup flat in n.
@@ -91,14 +96,22 @@ fn e1_storing(cfg: &Config) {
         &["k", "eps", "n", "|Dom|", "init", "ns/lookup", "regs/|Dom|"],
         &[3, 5, 9, 8, 9, 10, 10],
     );
-    let tops: &[u32] = if cfg.quick { &[14, 18] } else { &[12, 14, 16, 18, 20] };
+    let tops: &[u32] = if cfg.quick {
+        &[14, 18]
+    } else {
+        &[12, 14, 16, 18, 20]
+    };
     for &k in &[1usize, 2] {
         for &log_n in tops {
             let n = 1u64 << log_n;
             let dom = (n / 4).min(1 << 16) as usize;
             let params = StoreParams::new(n, k, 0.25);
             let keys: Vec<Vec<u64>> = (0..dom as u64)
-                .map(|i| (0..k).map(|c| mix(i * k as u64 + c as u64, 7) % n).collect())
+                .map(|i| {
+                    (0..k)
+                        .map(|c| mix(i * k as u64 + c as u64, 7) % n)
+                        .collect()
+                })
                 .collect();
             let (store, init) = time_it(|| {
                 let mut s = FnStore::new(params);
@@ -126,7 +139,10 @@ fn e1_storing(cfg: &Config) {
                 format!("{}", store.len()),
                 fmt_dur(init),
                 format!("{per:.0}"),
-                format!("{:.1}", store.registers() as f64 / store.len().max(1) as f64),
+                format!(
+                    "{:.1}",
+                    store.registers() as f64 / store.len().max(1) as f64
+                ),
             ]);
         }
     }
@@ -140,7 +156,11 @@ fn e2_cover(cfg: &Config) {
         &["family", "n", "r", "bags", "degree", "Σ|X|/n", "time"],
         &[7, 8, 3, 7, 7, 8, 9],
     );
-    let sizes: &[usize] = if cfg.quick { &[4_000, 16_000] } else { &[4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000, 16_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     for &f in ALL_FAMILIES {
         for &n in sizes {
             if !f.sparse() && n > 4_000 {
@@ -178,7 +198,15 @@ fn e3_splitter(cfg: &Config) {
         let g = f.build(size, 3);
         for &r in &[1u32, 2] {
             for s in strategies {
-                let res = play_game(&g, r, s, &ConnectorStrategy::SampledAdversary { samples: 8, seed: 5 });
+                let res = play_game(
+                    &g,
+                    r,
+                    s,
+                    &ConnectorStrategy::SampledAdversary {
+                        samples: 8,
+                        seed: 5,
+                    },
+                );
                 t.row(&[
                     f.name().to_string(),
                     format!("{}", g.n()),
@@ -199,13 +227,18 @@ fn e4_dist_oracle(cfg: &Config) {
         &["family", "n", "r", "prep", "ns/test", "ns/bfs", "speedup"],
         &[7, 8, 3, 9, 9, 9, 8],
     );
-    let sizes: &[usize] = if cfg.quick { &[4_000, 16_000] } else { &[4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000, 16_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     let queries = 50_000usize;
     for &f in SPARSE_FAMILIES {
         for &n in sizes {
             let g = f.build(n, 2);
             for &r in &[4u32, 8] {
-                let (oracle, prep) = time_it(|| DistOracle::build(&g, r, &DistOracleOpts::default()));
+                let (oracle, prep) =
+                    time_it(|| DistOracle::build(&g, r, &DistOracleOpts::default()));
                 let a = random_vertices(g.n(), queries, 11);
                 let b = random_vertices(g.n(), queries, 13);
                 let t0 = Instant::now();
@@ -247,19 +280,19 @@ const E5_QUERY3: &str = "dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)";
 /// E5 — Theorem 2.3: next_solution constant vs n after pseudo-linear prep.
 fn e5_next_solution(cfg: &Config) {
     println!("\n[E5] next_solution (Thm 2.3): prep scaling + flat query time");
-    let t = Table::new(
-        &["family", "n", "k", "prep", "ns/next"],
-        &[7, 8, 3, 9, 10],
-    );
-    let sizes: &[usize] = if cfg.quick { &[4_000, 16_000] } else { &[4_000, 16_000, 64_000] };
+    let t = Table::new(&["family", "n", "k", "prep", "ns/next"], &[7, 8, 3, 9, 10]);
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000, 16_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     for &f in SPARSE_FAMILIES {
         for &n in sizes {
             let g = f.build_colored(n, 4);
             for (k, src) in [(2, E5_QUERY), (3, E5_QUERY3)] {
                 let q = parse_query(src).unwrap();
-                let (pq, prep) = time_it(|| {
-                    PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap()
-                });
+                let (pq, prep) =
+                    time_it(|| PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap());
                 let probes = 2_000usize;
                 let t0 = Instant::now();
                 for i in 0..probes {
@@ -288,7 +321,11 @@ fn e6_testing(cfg: &Config) {
         &["family", "n", "ns/test", "ns/naive", "speedup"],
         &[7, 8, 9, 10, 8],
     );
-    let sizes: &[usize] = if cfg.quick { &[4_000] } else { &[4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     let q = parse_query(E5_QUERY).unwrap();
     for &f in SPARSE_FAMILIES {
         for &n in sizes {
@@ -328,10 +365,21 @@ fn e6_testing(cfg: &Config) {
 fn e7_enumeration(cfg: &Config) {
     println!("\n[E7] enumeration (Cor 2.5): delay vs n, against streaming naive");
     let t = Table::new(
-        &["family", "n", "engine", "outputs", "mean ns/out", "max delay"],
+        &[
+            "family",
+            "n",
+            "engine",
+            "outputs",
+            "mean ns/out",
+            "max delay",
+        ],
         &[7, 8, 8, 8, 12, 10],
     );
-    let sizes: &[usize] = if cfg.quick { &[4_000, 16_000] } else { &[4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000, 16_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     let q = parse_query("Rare(x) && dist(x,y) > 2 && Rare(y)").unwrap();
     let limit = 20_000usize;
     for &f in SPARSE_FAMILIES {
@@ -373,7 +421,11 @@ fn e8_skip(cfg: &Config) {
         &["family", "n", "k", "entries", "entries/n", "ns/skip"],
         &[7, 8, 3, 9, 10, 9],
     );
-    let sizes: &[usize] = if cfg.quick { &[4_000] } else { &[4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     for &f in SPARSE_FAMILIES {
         for &n in sizes {
             let g = f.build(n, 7);
@@ -388,9 +440,7 @@ fn e8_skip(cfg: &Config) {
                 let anchors = random_vertices(g.n(), probes * k, 22);
                 let t0 = Instant::now();
                 for i in 0..probes {
-                    let bags: Vec<_> = (0..k)
-                        .map(|c| cover.bag_of(anchors[i * k + c]))
-                        .collect();
+                    let bags: Vec<_> = (0..k).map(|c| cover.bag_of(anchors[i * k + c])).collect();
                     std::hint::black_box(sp.skip(&kernels, bs[i], &bags));
                 }
                 let per = t0.elapsed().as_nanos() as f64 / probes as f64;
@@ -414,7 +464,11 @@ fn e9_kernel(cfg: &Config) {
         &["family", "n", "p", "Σ|X|", "time", "ns/bag-vertex"],
         &[7, 8, 3, 9, 9, 14],
     );
-    let sizes: &[usize] = if cfg.quick { &[16_000] } else { &[16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[16_000]
+    } else {
+        &[16_000, 64_000]
+    };
     for &f in SPARSE_FAMILIES {
         for &n in sizes {
             let g = f.build(n, 8);
@@ -443,7 +497,15 @@ fn e10_relational(cfg: &Config) {
     use nd_logic::eval::materialize_db;
     use nd_logic::relational::rewrite_to_graph;
     let t = Table::new(
-        &["papers", "db size", "|A'(D)|", "‖A'(D)‖", "build", "answers", "agree"],
+        &[
+            "papers",
+            "db size",
+            "|A'(D)|",
+            "‖A'(D)‖",
+            "build",
+            "answers",
+            "agree",
+        ],
         &[7, 8, 8, 9, 9, 8, 6],
     );
     let sizes: &[usize] = if cfg.quick { &[50] } else { &[50, 100] };
@@ -458,7 +520,10 @@ fn e10_relational(cfg: &Config) {
         db.add_relation(
             "S",
             1,
-            (0..n as u32).filter(|p| p % 3 == 0).map(|p| vec![p]).collect(),
+            (0..n as u32)
+                .filter(|p| p % 3 == 0)
+                .map(|p| vec![p])
+                .collect(),
         );
         let phi = parse_query("R(x, y) && S(y)").unwrap();
         let ((g, mapping), build) = time_it(|| adjacency_graph(&db));
@@ -487,7 +552,11 @@ fn e11_dynamic(cfg: &Config) {
         &["family", "n", "ns/update", "ns/skip1", "rebuild"],
         &[7, 8, 10, 9, 9],
     );
-    let sizes: &[usize] = if cfg.quick { &[4_000, 16_000] } else { &[4_000, 16_000, 64_000] };
+    let sizes: &[usize] = if cfg.quick {
+        &[4_000, 16_000]
+    } else {
+        &[4_000, 16_000, 64_000]
+    };
     for &f in SPARSE_FAMILIES {
         for &n in sizes {
             let g = f.build(n, 14);
@@ -532,7 +601,8 @@ fn a1_ablation_extend(cfg: &Config) {
         let mut g = f.build(n, 9);
         let rare: Vec<u32> = (0..g.n() as u32).filter(|v| v % 301 == 7).collect();
         g.add_color(rare, Some("Blue".into()));
-        let q = parse_query("Blue(x) && dist(x,y) > 4 && Blue(y) && dist(y,z) > 4 && Blue(z)").unwrap();
+        let q =
+            parse_query("Blue(x) && dist(x,y) > 4 && Blue(y) && dist(y,z) > 4 && Blue(z)").unwrap();
         for check in [true, false] {
             let opts = PrepareOpts {
                 extendability_check: check,
@@ -599,7 +669,15 @@ fn a2_ablation_splitter(cfg: &Config) {
 fn a3_sparse_vs_dense(cfg: &Config) {
     println!("\n[A3] sparse vs dense contrast (nowhere-dense boundary)");
     let t = Table::new(
-        &["family", "n", "‖G‖/n", "weak-acc(2)", "cover deg", "prep", "mean ns/out"],
+        &[
+            "family",
+            "n",
+            "‖G‖/n",
+            "weak-acc(2)",
+            "cover deg",
+            "prep",
+            "mean ns/out",
+        ],
         &[7, 7, 8, 12, 10, 9, 12],
     );
     let n = if cfg.quick { 1_000 } else { 3_000 };
@@ -611,7 +689,8 @@ fn a3_sparse_vs_dense(cfg: &Config) {
         let ord: Vec<_> = ord.into_iter().rev().collect();
         let wa = max_weak_accessibility(&g, &ord, 2);
         let cover = Cover::build(&g, 4, 0.5);
-        let (pq, prep) = time_it(|| PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap());
+        let (pq, prep) =
+            time_it(|| PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap());
         let s = measure_delays(pq.enumerate(), 5_000);
         t.row(&[
             f.name().to_string(),
@@ -622,5 +701,66 @@ fn a3_sparse_vs_dense(cfg: &Config) {
             fmt_dur(prep),
             format!("{:.0}", s.mean_delay_ns),
         ]);
+    }
+}
+
+/// A4 — preprocessing budgets and the degradation ladder: sweep the
+/// node-expansion cap and report which rung the ladder lands on. A
+/// `BudgetExceeded` is a measured outcome here (with its partial spend),
+/// not a crash.
+fn a4_budget_ladder(cfg: &Config) {
+    use nd_core::{Budget, DegradationRung, PrepareError};
+
+    println!("\n[A4] preprocessing budgets: ladder rung vs node-expansion cap");
+    let t = Table::new(
+        &["family", "n", "node cap", "outcome", "nodes spent", "prep"],
+        &[7, 7, 12, 24, 12, 9],
+    );
+    let n = if cfg.quick { 500 } else { 2_000 };
+    let q = parse_query(E5_QUERY).unwrap();
+    for &f in ALL_FAMILIES {
+        if !f.sparse() {
+            continue;
+        }
+        let g = f.build_colored(n, 12);
+        for cap in [u64::MAX, 1 << 22, 1 << 16, 1 << 10] {
+            let opts = PrepareOpts {
+                budget: if cap == u64::MAX {
+                    Budget::UNLIMITED
+                } else {
+                    Budget::UNLIMITED.with_node_expansions(cap)
+                },
+                ..PrepareOpts::default()
+            };
+            let (res, prep) = time_it(|| PreparedQuery::prepare(&g, &q, &opts));
+            let (outcome, spent) = match &res {
+                Ok(pq) => {
+                    let s = pq.stats();
+                    let rung = match s.rung {
+                        DegradationRung::Indexed => "indexed",
+                        DegradationRung::CoarsenedEpsilon => "coarsened ε",
+                        DegradationRung::NaiveFallback => "naive fallback",
+                    };
+                    (rung.to_string(), s.budget_nodes_spent)
+                }
+                Err(PrepareError::BudgetExceeded { exceeded, partial }) => (
+                    format!("exceeded in {}", exceeded.phase),
+                    partial.budget_nodes_spent,
+                ),
+                Err(e) => (format!("error: {e}"), 0),
+            };
+            t.row(&[
+                f.name().to_string(),
+                format!("{}", g.n()),
+                if cap == u64::MAX {
+                    "∞".into()
+                } else {
+                    format!("{cap}")
+                },
+                outcome,
+                format!("{spent}"),
+                fmt_dur(prep),
+            ]);
+        }
     }
 }

@@ -110,9 +110,7 @@ pub fn standard_colors(mut g: ColoredGraph, seed: u64) -> ColoredGraph {
 
 /// splitmix64-style deterministic hash for workload generation.
 pub fn mix(v: u64, seed: u64) -> u64 {
-    let mut z = v
-        .wrapping_add(seed)
-        .wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = v.wrapping_add(seed).wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
     z ^ (z >> 31)
@@ -179,7 +177,10 @@ impl Table {
             widths: widths.to_vec(),
         };
         t.row(headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         t
     }
 

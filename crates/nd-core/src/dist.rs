@@ -20,6 +20,7 @@
 //! or cost — DESIGN.md §2).
 
 use nd_cover::Cover;
+use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::{BfsScratch, ColoredGraph, InducedSubgraph, Vertex};
 use nd_splitter::splitter_move;
 
@@ -113,11 +114,35 @@ struct BagNode {
 
 impl DistOracle {
     /// Preprocess `g` for `dist ≤ r` tests.
+    ///
+    /// Unbudgeted convenience; see [`DistOracle::try_build`].
     pub fn build(g: &ColoredGraph, r: u32, opts: &DistOracleOpts) -> DistOracle {
+        Self::try_build(g, r, opts, &BudgetTracker::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// Preprocess `g` for `dist ≤ r` tests, charging every materialized
+    /// recursion level against `tracker` (cooperative cancellation — a
+    /// capped run returns [`BudgetExceeded`] instead of recursing on).
+    pub fn try_build(
+        g: &ColoredGraph,
+        r: u32,
+        opts: &DistOracleOpts,
+        tracker: &BudgetTracker,
+    ) -> Result<DistOracle, BudgetExceeded> {
         let mut stats = OracleStats::default();
         let mut budget = (opts.budget_factor.saturating_mul(g.n())).max(10_000) as isize;
-        let root = build_node(g, r, opts, opts.max_rounds, 0, &mut stats, &mut budget);
-        DistOracle { r, root, stats }
+        let root = build_node(
+            g,
+            r,
+            opts,
+            opts.max_rounds,
+            0,
+            &mut stats,
+            &mut budget,
+            tracker,
+        )?;
+        Ok(DistOracle { r, root, stats })
     }
 
     /// The preprocessed radius.
@@ -164,11 +189,13 @@ fn build_node(
     depth: u32,
     stats: &mut OracleStats,
     budget: &mut isize,
-) -> Node {
+    tracker: &BudgetTracker,
+) -> Result<Node, BudgetExceeded> {
     stats.total_vertices += g.n();
     stats.total_edges += g.m();
     stats.depth = stats.depth.max(depth);
     *budget -= g.n() as isize;
+    tracker.charge_nodes(Phase::DistOracle, g.n() as u64 + 1)?;
     if g.n() <= opts.naive_threshold || rounds_left == 0 || g.m() == 0 || *budget <= 0 {
         stats.base_cases += 1;
         let mut scratch = BfsScratch::new(g.n());
@@ -177,17 +204,19 @@ fn build_node(
         for v in 0..g.n() as Vertex {
             let ball = scratch.ball_sorted(g, v, r);
             entries += ball.len();
+            tracker.charge_nodes(Phase::DistOracle, ball.len() as u64)?;
             if entries > opts.ball_entry_cap {
                 stats.bfs_fallbacks += 1;
-                return Node::Bfs(g.clone());
+                return Ok(Node::Bfs(g.clone()));
             }
             balls.push(ball.into_boxed_slice());
         }
-        return Node::Naive(balls);
+        tracker.charge_memory(Phase::DistOracle, 4 * entries as u64)?;
+        return Ok(Node::Naive(balls));
     }
 
     // Step 2: the (r, 2r)-cover.
-    let cover = Cover::build(g, r, opts.epsilon);
+    let cover = Cover::try_build(g, r, opts.epsilon, tracker)?;
     let mut bags = Vec::with_capacity(cover.num_bags());
     for id in 0..cover.num_bags() as u32 {
         let bag = cover.bag(id);
@@ -222,11 +251,20 @@ fn build_node(
             .collect();
 
         // Step 5: recurse on X' with one fewer round.
-        let inner = build_node(&sub.graph, r, opts, rounds_left - 1, depth + 1, stats, budget);
+        let inner = build_node(
+            &sub.graph,
+            r,
+            opts,
+            rounds_left - 1,
+            depth + 1,
+            stats,
+            budget,
+            tracker,
+        )?;
         bags.push(BagNode { sub, s, ri, inner });
     }
     stats.bags += bags.len();
-    Node::Split(Box::new(SplitNode { cover, bags }))
+    Ok(Node::Split(Box::new(SplitNode { cover, bags })))
 }
 
 fn test_node(node: &Node, r: u32, a: Vertex, b: Vertex) -> bool {
@@ -271,7 +309,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{RngExt, SeedableRng};
 
-    fn check_against_bfs(g: &ColoredGraph, r: u32, opts: &DistOracleOpts, probes: usize, seed: u64) {
+    fn check_against_bfs(
+        g: &ColoredGraph,
+        r: u32,
+        opts: &DistOracleOpts,
+        probes: usize,
+        seed: u64,
+    ) {
         let oracle = DistOracle::build(g, r, opts);
         let mut scratch = BfsScratch::new(g.n());
         let mut rng = StdRng::seed_from_u64(seed);

@@ -56,18 +56,28 @@ pub struct DynamicFarIndex {
 }
 
 impl DynamicFarIndex {
-    /// Empty index over a graph with `n` vertices and the given number of
-    /// cover bags.
+    /// Panicking convenience over [`DynamicFarIndex::try_new`].
     pub fn new(n: usize, num_bags: usize, epsilon: f64) -> DynamicFarIndex {
-        let params_w = StoreParams::new(n.max(1) as u64, 1, epsilon);
-        let params_e = StoreParams::new(n.max(num_bags).max(1) as u64, 2, epsilon);
-        DynamicFarIndex {
+        Self::try_new(n, num_bags, epsilon).expect("invalid dynamic index parameters")
+    }
+
+    /// Empty index over a graph with `n` vertices and the given number of
+    /// cover bags. Rejects a degenerate `ε` or a domain too wide for the
+    /// packed trie keys.
+    pub fn try_new(
+        n: usize,
+        num_bags: usize,
+        epsilon: f64,
+    ) -> Result<DynamicFarIndex, nd_store::StoreError> {
+        let params_w = StoreParams::try_new(n.max(1) as u64, 1, epsilon)?;
+        let params_e = StoreParams::try_new(n.max(num_bags).max(1) as u64, 2, epsilon)?;
+        Ok(DynamicFarIndex {
             witnesses: FnStore::new(params_w),
             excluded: FnStore::new(params_e),
             params_w,
             params_e,
             n,
-        }
+        })
     }
 
     /// Build from an initial witness list.
@@ -204,23 +214,53 @@ pub struct DynamicFarQuery {
 }
 
 impl DynamicFarQuery {
-    /// Preprocess `g` for the dynamic Example 2 query `U(y) ∧ dist(x,y) > r`
-    /// with initial witness set `witnesses`.
+    /// Panicking convenience over [`DynamicFarQuery::try_new`].
     pub fn new(
         g: &nd_graph::ColoredGraph,
         r: u32,
         witnesses: &[Vertex],
         epsilon: f64,
     ) -> DynamicFarQuery {
-        let cover = Cover::build(g, 2 * r, epsilon);
-        let kernels = KernelIndex::build(g, &cover, r);
-        let index = DynamicFarIndex::build(g.n(), &kernels, cover.num_bags(), witnesses, epsilon);
-        DynamicFarQuery {
+        Self::try_new(
+            g,
+            r,
+            witnesses,
+            epsilon,
+            &nd_graph::BudgetTracker::unlimited(),
+        )
+        .expect("invalid dynamic query input")
+    }
+
+    /// Preprocess `g` for the dynamic Example 2 query `U(y) ∧ dist(x,y) > r`
+    /// with initial witness set `witnesses`. Validates `ε` and the witness
+    /// ids, and charges cover/kernel construction against `tracker`.
+    pub fn try_new(
+        g: &nd_graph::ColoredGraph,
+        r: u32,
+        witnesses: &[Vertex],
+        epsilon: f64,
+        tracker: &nd_graph::BudgetTracker,
+    ) -> Result<DynamicFarQuery, crate::NdError> {
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(
+                crate::PrepareError::InvalidInput(crate::InvalidInput::BadEpsilon(epsilon)).into(),
+            );
+        }
+        if let Some(&v) = witnesses.iter().find(|&&v| (v as usize) >= g.n()) {
+            return Err(nd_graph::GraphError::VertexOutOfRange { v, n: g.n() }.into());
+        }
+        let cover = Cover::try_build(g, 2 * r, epsilon, tracker)?;
+        let kernels = KernelIndex::try_build(g, &cover, r, tracker)?;
+        let mut index = DynamicFarIndex::try_new(g.n(), cover.num_bags(), epsilon)?;
+        for &v in witnesses {
+            index.insert(&kernels, v);
+        }
+        Ok(DynamicFarQuery {
             cover,
             kernels,
             index,
             r,
-        }
+        })
     }
 
     pub fn radius(&self) -> u32 {

@@ -251,10 +251,7 @@ mod tests {
     #[test]
     fn triangle_component_falls_back() {
         let g = colored(generators::grid(5, 5));
-        let q = parse_query(
-            "dist(x,y) > 2 && dist(y,z) > 2 && dist(x,z) > 2",
-        )
-        .unwrap();
+        let q = parse_query("dist(x,y) > 2 && dist(y,z) > 2 && dist(x,z) > 2").unwrap();
         let pq = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap();
         assert_eq!(pq.count(), materialize(&g, &q).len());
     }

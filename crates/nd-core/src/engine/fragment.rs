@@ -256,19 +256,26 @@ mod tests {
         let fq = &compile(&q).unwrap()[0];
         assert_eq!(fq.k, 3);
         assert_eq!(fq.binary.len(), 2);
-        assert!(fq.binary.iter().all(|c| c.kind == BinKind::Gt(2) && c.j == 2));
+        assert!(fq
+            .binary
+            .iter()
+            .all(|c| c.kind == BinKind::Gt(2) && c.j == 2));
     }
 
     #[test]
     fn guarded_unary_conjuncts() {
         // Parenthesize the quantifier: in operand position it would scope
         // over everything to its right.
-        let q = parse_query(
-            "(exists u. (E(x,u) && Blue(u))) && dist(x,y) <= 3 && Red(y)",
-        )
-        .unwrap();
+        let q = parse_query("(exists u. (E(x,u) && Blue(u))) && dist(x,y) <= 3 && Red(y)").unwrap();
         let fq = &compile(&q).unwrap()[0];
-        assert_eq!(fq.binary, vec![BinaryConstraint { i: 0, j: 1, kind: BinKind::Le(3) }]);
+        assert_eq!(
+            fq.binary,
+            vec![BinaryConstraint {
+                i: 0,
+                j: 1,
+                kind: BinKind::Le(3)
+            }]
+        );
         assert_ne!(fq.unary[0], Formula::True);
         assert_ne!(fq.unary[1], Formula::True);
     }
@@ -278,7 +285,14 @@ mod tests {
         let q = parse_query("(exists u. Blue(u)) && E(x, y)").unwrap();
         let fq = &compile(&q).unwrap()[0];
         assert_eq!(fq.sentences.len(), 1);
-        assert_eq!(fq.binary, vec![BinaryConstraint { i: 0, j: 1, kind: BinKind::Edge }]);
+        assert_eq!(
+            fq.binary,
+            vec![BinaryConstraint {
+                i: 0,
+                j: 1,
+                kind: BinKind::Edge
+            }]
+        );
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! `O(n^{k+qr})` and whose index is `O(|q(G)|)` — the costs the paper's
 //! machinery avoids.
 
+use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::{ColoredGraph, Vertex};
 use nd_logic::ast::Query;
-use nd_logic::eval::materialize;
+use nd_logic::eval::{eval_in, Assignment, EvalCtx};
 
 pub struct NaiveEngine {
     arity: usize,
@@ -17,11 +18,30 @@ pub struct NaiveEngine {
 }
 
 impl NaiveEngine {
+    /// Unbudgeted convenience; see [`NaiveEngine::try_prepare`].
     pub fn prepare(g: &ColoredGraph, q: &Query) -> NaiveEngine {
-        NaiveEngine {
+        Self::try_prepare(g, q, &BudgetTracker::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// Materialize `q(G)` (the `O(n^k)` nested loop), charging every
+    /// examined tuple against `tracker` so that a capped run bails out
+    /// with [`BudgetExceeded`] instead of grinding through the product
+    /// space.
+    pub fn try_prepare(
+        g: &ColoredGraph,
+        q: &Query,
+        tracker: &BudgetTracker,
+    ) -> Result<NaiveEngine, BudgetExceeded> {
+        let mut ctx = EvalCtx::new(g);
+        let mut asg: Assignment = Vec::new();
+        let mut tuple = vec![0 as Vertex; q.arity()];
+        let mut out = Vec::new();
+        rec_materialize(&mut ctx, q, 0, &mut tuple, &mut asg, &mut out, tracker)?;
+        Ok(NaiveEngine {
             arity: q.arity(),
-            solutions: materialize(g, q),
-        }
+            solutions: out,
+        })
     }
 
     pub fn arity(&self) -> usize {
@@ -39,11 +59,45 @@ impl NaiveEngine {
     }
 
     pub fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
-        let idx = self
-            .solutions
-            .partition_point(|s| s.as_slice() < from);
+        let idx = self.solutions.partition_point(|s| s.as_slice() < from);
         self.solutions.get(idx).cloned()
     }
+}
+
+fn assign(asg: &mut Assignment, var: nd_logic::ast::VarId, val: Option<Vertex>) {
+    if asg.len() <= var.0 as usize {
+        asg.resize(var.0 as usize + 1, None);
+    }
+    asg[var.0 as usize] = val;
+}
+
+/// The lexicographic nested loop of `nd_logic::eval::materialize`, with a
+/// budget charge per examined tuple (and per quantifier-free evaluation
+/// at the leaves).
+fn rec_materialize(
+    ctx: &mut EvalCtx<'_>,
+    q: &Query,
+    pos: usize,
+    tuple: &mut Vec<Vertex>,
+    asg: &mut Assignment,
+    out: &mut Vec<Vec<Vertex>>,
+    tracker: &BudgetTracker,
+) -> Result<(), BudgetExceeded> {
+    if pos == q.arity() {
+        tracker.charge_nodes(Phase::NaiveMaterialize, 1)?;
+        if eval_in(ctx, &q.formula, asg) {
+            tracker.charge_memory(Phase::NaiveMaterialize, 4 * tuple.len().max(1) as u64)?;
+            out.push(tuple.clone());
+        }
+        return Ok(());
+    }
+    for a in 0..ctx.g.n() as Vertex {
+        tuple[pos] = a;
+        assign(asg, q.free[pos], Some(a));
+        rec_materialize(ctx, q, pos + 1, tuple, asg, out, tracker)?;
+    }
+    assign(asg, q.free[pos], None);
+    Ok(())
 }
 
 #[cfg(test)]

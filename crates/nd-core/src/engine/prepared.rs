@@ -37,10 +37,12 @@
 use crate::dist::{DistOracle, DistOracleOpts};
 use crate::engine::fragment::{compile, BinKind, FragmentQuery, UnsupportedReason};
 use crate::engine::naive::NaiveEngine;
+use crate::error::{InvalidInput, PrepareError, QueryError};
 use crate::skip::SkipPointers;
 use nd_cover::{Cover, KernelIndex};
+use nd_graph::budget::{Budget, BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::{ColoredGraph, Vertex};
-use nd_logic::ast::{Formula, Query};
+use nd_logic::ast::{ColorRef, Formula, Query};
 use nd_logic::eval::eval;
 use nd_logic::locality::evaluate_unary;
 use std::collections::HashMap;
@@ -53,10 +55,16 @@ pub struct PrepareOpts {
     /// Distance-oracle construction knobs.
     pub dist: DistOracleOpts,
     /// Fall back to the naive engine when the query is outside the
-    /// fragment (`true`), or report the reason (`false`).
+    /// fragment (`true`), or report the reason (`false`). Also gates the
+    /// budget-degradation rungs of the ladder (see
+    /// [`PreparedQuery::prepare`]).
     pub allow_fallback: bool,
     /// Prune backtracking with per-future-position extendability checks.
     pub extendability_check: bool,
+    /// Resource caps for the preprocessing phases. Unlimited by default;
+    /// a capped run degrades down the ladder and ultimately returns
+    /// [`PrepareError::BudgetExceeded`] instead of hanging.
+    pub budget: Budget,
 }
 
 impl Default for PrepareOpts {
@@ -66,14 +74,49 @@ impl Default for PrepareOpts {
             dist: DistOracleOpts::default(),
             allow_fallback: true,
             extendability_check: true,
+            budget: Budget::UNLIMITED,
         }
     }
 }
 
-/// Sizes of a prepared query's index structures (see
-/// [`PreparedQuery::stats`]).
+/// Which rung of the graceful-degradation ladder produced the index.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradationRung {
+    /// The paper's machinery at the requested `ε`.
+    #[default]
+    Indexed,
+    /// The paper's machinery after a budget overrun forced a coarser `ε`
+    /// (flatter stores, fewer/larger structures).
+    CoarsenedEpsilon,
+    /// Naive materialization (budget-checked).
+    NaiveFallback,
+}
+
+/// Why preparation stepped down from the previous rung.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradationReason {
+    /// The query is outside the distance-type fragment.
+    UnsupportedFragment(UnsupportedReason),
+    /// A budget cap interrupted the previous rung.
+    BudgetExceeded(BudgetExceeded),
+}
+
+/// Sizes of a prepared query's index structures (see
+/// [`PreparedQuery::stats`]), plus which degradation rung produced them
+/// and what the preparation spent against its budget.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PrepareStats {
+    /// The ladder rung that produced the index.
+    pub rung: DegradationRung,
+    /// Why the ladder stepped below [`DegradationRung::Indexed`] (absent
+    /// when the first rung succeeded).
+    pub degradation_reason: Option<DegradationReason>,
+    /// Node-expansion charges accumulated by the successful rung (or, in
+    /// the `partial` stats of [`PrepareError::BudgetExceeded`], by the
+    /// last rung attempted).
+    pub budget_nodes_spent: u64,
+    /// Wall-clock milliseconds consumed by the same rung.
+    pub budget_ms_spent: u64,
     /// Union branches compiled.
     pub branches: usize,
     /// Branches whose sentences held.
@@ -114,6 +157,10 @@ pub struct PreparedQuery<'g> {
     g: &'g ColoredGraph,
     arity: usize,
     engine: EngineImpl<'g>,
+    rung: DegradationRung,
+    degradation_reason: Option<DegradationReason>,
+    budget_nodes_spent: u64,
+    budget_ms_spent: u64,
 }
 
 enum EngineImpl<'g> {
@@ -121,34 +168,193 @@ enum EngineImpl<'g> {
     Naive(NaiveEngine),
 }
 
+impl std::fmt::Debug for PreparedQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("arity", &self.arity)
+            .field("engine", &self.engine_kind())
+            .field("rung", &self.rung)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reject color references the graph cannot resolve — `eval` and
+/// `evaluate_unary` would panic on them far from the input boundary.
+fn validate_colors(g: &ColoredGraph, f: &Formula) -> Result<(), PrepareError> {
+    match f {
+        Formula::Color(ColorRef::Named(name), _) if g.color_by_name(name).is_none() => {
+            return Err(PrepareError::InvalidInput(InvalidInput::UnknownColor(
+                name.clone(),
+            )));
+        }
+        Formula::Color(ColorRef::Id(i), _) if (*i as usize) >= g.num_colors() => {
+            return Err(PrepareError::InvalidInput(InvalidInput::UnknownColorId(*i)));
+        }
+        Formula::Not(inner) | Formula::Exists(_, inner) | Formula::Forall(_, inner) => {
+            validate_colors(g, inner)?
+        }
+        Formula::And(fs) | Formula::Or(fs) => {
+            for sub in fs {
+                validate_colors(g, sub)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
 impl<'g> PreparedQuery<'g> {
     /// Preprocess `q` over `g`. Pseudo-linear for fragment queries;
-    /// `O(n^k)`-ish for fallback queries (or an error when
-    /// `opts.allow_fallback` is off).
+    /// `O(n^k)`-ish for fallback queries.
+    ///
+    /// Never panics on malformed input. Runs the graceful-degradation
+    /// ladder:
+    ///
+    /// 1. **Indexed** — the paper's machinery at `opts.epsilon`, within
+    ///    `opts.budget`;
+    /// 2. **CoarsenedEpsilon** — on a budget overrun, one retry with
+    ///    `min(2ε, 1)` (fewer/flatter structures), with a fresh budget;
+    /// 3. **NaiveFallback** — budget-checked materialization, also used
+    ///    when the query is outside the fragment;
+    /// 4. a typed [`PrepareError`] when every permitted rung fails.
+    ///
+    /// Rungs 2–3 require `opts.allow_fallback`; with it off, the first
+    /// failure is reported directly. The chosen rung and the reason for
+    /// any step-down are recorded in [`PreparedQuery::stats`]. Relational
+    /// atoms never fall back (naive evaluation cannot interpret them over
+    /// a colored graph): they always yield
+    /// [`PrepareError::UnsupportedFragment`].
     pub fn prepare(
         g: &'g ColoredGraph,
         q: &Query,
         opts: &PrepareOpts,
-    ) -> Result<PreparedQuery<'g>, UnsupportedReason> {
-        match compile(q) {
-            Ok(branches) => {
-                let engines = branches
-                    .into_iter()
-                    .map(|fq| BranchEngine::prepare(g, fq, opts))
-                    .collect();
-                Ok(PreparedQuery {
+    ) -> Result<PreparedQuery<'g>, PrepareError> {
+        if !(opts.epsilon.is_finite() && opts.epsilon > 0.0) {
+            return Err(PrepareError::InvalidInput(InvalidInput::BadEpsilon(
+                opts.epsilon,
+            )));
+        }
+        validate_colors(g, &q.formula)?;
+
+        let branches = match compile(q) {
+            Ok(branches) => branches,
+            Err(reason @ UnsupportedReason::RelationalAtom(_)) => {
+                return Err(PrepareError::UnsupportedFragment(reason))
+            }
+            Err(reason) if opts.allow_fallback => {
+                let tracker = opts.budget.start();
+                return match NaiveEngine::try_prepare(g, q, &tracker) {
+                    Ok(n) => Ok(Self::from_naive(
+                        g,
+                        q.arity(),
+                        n,
+                        DegradationReason::UnsupportedFragment(reason),
+                        &tracker,
+                    )),
+                    Err(e) => Err(Self::budget_error(e, 0, &tracker)),
+                };
+            }
+            Err(reason) => return Err(PrepareError::UnsupportedFragment(reason)),
+        };
+
+        // Rung 1: indexed at the requested ε.
+        let tracker = opts.budget.start();
+        let exceeded = match Self::try_indexed(g, &branches, opts, opts.epsilon, &tracker) {
+            Ok(engines) => {
+                return Ok(PreparedQuery {
                     g,
                     arity: q.arity(),
                     engine: EngineImpl::Indexed(engines),
+                    rung: DegradationRung::Indexed,
+                    degradation_reason: None,
+                    budget_nodes_spent: tracker.nodes_spent(),
+                    budget_ms_spent: tracker.elapsed().as_millis() as u64,
                 })
             }
-            Err(_reason) if opts.allow_fallback => Ok(PreparedQuery {
-                g,
-                arity: q.arity(),
-                engine: EngineImpl::Naive(NaiveEngine::prepare(g, q)),
-            }),
-            Err(reason) => Err(reason),
+            Err(e) => e,
+        };
+
+        // Rung 2: coarser ε, fresh budget (skipped when ε is already ≥ 1,
+        // where coarsening buys nothing).
+        let coarse = (opts.epsilon * 2.0).min(1.0);
+        if opts.allow_fallback && coarse > opts.epsilon {
+            let tracker2 = opts.budget.start();
+            if let Ok(engines) = Self::try_indexed(g, &branches, opts, coarse, &tracker2) {
+                return Ok(PreparedQuery {
+                    g,
+                    arity: q.arity(),
+                    engine: EngineImpl::Indexed(engines),
+                    rung: DegradationRung::CoarsenedEpsilon,
+                    degradation_reason: Some(DegradationReason::BudgetExceeded(exceeded)),
+                    budget_nodes_spent: tracker2.nodes_spent(),
+                    budget_ms_spent: tracker2.elapsed().as_millis() as u64,
+                });
+            }
         }
+
+        // Rung 3: budget-checked naive materialization.
+        if opts.allow_fallback {
+            let tracker3 = opts.budget.start();
+            return match NaiveEngine::try_prepare(g, q, &tracker3) {
+                Ok(n) => Ok(Self::from_naive(
+                    g,
+                    q.arity(),
+                    n,
+                    DegradationReason::BudgetExceeded(exceeded),
+                    &tracker3,
+                )),
+                Err(e) => Err(Self::budget_error(e, branches.len(), &tracker3)),
+            };
+        }
+        Err(Self::budget_error(exceeded, branches.len(), &tracker))
+    }
+
+    fn try_indexed(
+        g: &'g ColoredGraph,
+        branches: &[FragmentQuery],
+        opts: &PrepareOpts,
+        epsilon: f64,
+        tracker: &BudgetTracker,
+    ) -> Result<Vec<BranchEngine<'g>>, BudgetExceeded> {
+        branches
+            .iter()
+            .map(|fq| BranchEngine::try_prepare(g, fq.clone(), opts, epsilon, tracker))
+            .collect()
+    }
+
+    fn from_naive(
+        g: &'g ColoredGraph,
+        arity: usize,
+        n: NaiveEngine,
+        reason: DegradationReason,
+        tracker: &BudgetTracker,
+    ) -> PreparedQuery<'g> {
+        PreparedQuery {
+            g,
+            arity,
+            engine: EngineImpl::Naive(n),
+            rung: DegradationRung::NaiveFallback,
+            degradation_reason: Some(reason),
+            budget_nodes_spent: tracker.nodes_spent(),
+            budget_ms_spent: tracker.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Build the `BudgetExceeded` error with partial stats — the spend of
+    /// the last rung attempted, so callers can see how far preparation got.
+    fn budget_error(
+        exceeded: BudgetExceeded,
+        branches: usize,
+        tracker: &BudgetTracker,
+    ) -> PrepareError {
+        let partial = Box::new(PrepareStats {
+            branches,
+            degradation_reason: Some(DegradationReason::BudgetExceeded(exceeded.clone())),
+            budget_nodes_spent: tracker.nodes_spent(),
+            budget_ms_spent: tracker.elapsed().as_millis() as u64,
+            ..PrepareStats::default()
+        });
+        PrepareError::BudgetExceeded { exceeded, partial }
     }
 
     /// Which engine ended up backing the query.
@@ -166,7 +372,13 @@ impl<'g> PreparedQuery<'g> {
     /// Sizes of the preprocessed structures (index observability; used by
     /// the experiment harness to verify pseudo-linearity).
     pub fn stats(&self) -> PrepareStats {
-        let mut s = PrepareStats::default();
+        let mut s = PrepareStats {
+            rung: self.rung,
+            degradation_reason: self.degradation_reason.clone(),
+            budget_nodes_spent: self.budget_nodes_spent,
+            budget_ms_spent: self.budget_ms_spent,
+            ..PrepareStats::default()
+        };
         match &self.engine {
             EngineImpl::Naive(n) => {
                 s.naive_solutions = Some(n.count());
@@ -197,27 +409,50 @@ impl<'g> PreparedQuery<'g> {
         s
     }
 
-    /// **Corollary 2.4**: is `tuple` a solution? Constant time.
-    pub fn test(&self, tuple: &[Vertex]) -> bool {
-        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        debug_assert!(tuple.iter().all(|&v| (v as usize) < self.g.n()));
-        match &self.engine {
+    /// **Corollary 2.4**: is `tuple` a solution? Constant time. Rejects
+    /// mis-sized or out-of-range probes with a typed error.
+    pub fn try_test(&self, tuple: &[Vertex]) -> Result<bool, QueryError> {
+        if tuple.len() != self.arity {
+            return Err(QueryError::ArityMismatch {
+                expected: self.arity,
+                got: tuple.len(),
+            });
+        }
+        if let Some(&v) = tuple.iter().find(|&&v| (v as usize) >= self.g.n()) {
+            return Err(QueryError::VertexOutOfRange { v, n: self.g.n() });
+        }
+        Ok(match &self.engine {
             EngineImpl::Indexed(bs) => bs.iter().any(|b| b.test_tuple(tuple)),
             EngineImpl::Naive(n) => n.test(tuple),
-        }
+        })
+    }
+
+    /// Panicking convenience over [`PreparedQuery::try_test`] for
+    /// pre-validated tuples.
+    pub fn test(&self, tuple: &[Vertex]) -> bool {
+        self.try_test(tuple).expect("invalid probe tuple")
     }
 
     /// **Theorem 2.3**: the lexicographically smallest solution `≥ from`,
-    /// or `None`.
-    pub fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
-        assert_eq!(from.len(), self.arity, "tuple arity mismatch");
-        match &self.engine {
-            EngineImpl::Indexed(bs) => bs
-                .iter()
-                .filter_map(|b| b.next_solution(from))
-                .min(),
-            EngineImpl::Naive(n) => n.next_solution(from),
+    /// or `None`. Rejects a mis-sized probe with a typed error
+    /// (out-of-range components are fine: they just mean "no successor"
+    /// in that subrange).
+    pub fn try_next_solution(&self, from: &[Vertex]) -> Result<Option<Vec<Vertex>>, QueryError> {
+        if from.len() != self.arity {
+            return Err(QueryError::ArityMismatch {
+                expected: self.arity,
+                got: from.len(),
+            });
         }
+        Ok(match &self.engine {
+            EngineImpl::Indexed(bs) => bs.iter().filter_map(|b| b.next_solution(from)).min(),
+            EngineImpl::Naive(n) => n.next_solution(from),
+        })
+    }
+
+    /// Panicking convenience over [`PreparedQuery::try_next_solution`].
+    pub fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
+        self.try_next_solution(from).expect("invalid probe tuple")
     }
 
     /// **Corollary 2.5**: enumerate `q(G)` in increasing lexicographic
@@ -228,7 +463,10 @@ impl<'g> PreparedQuery<'g> {
         } else {
             self.next_solution(&vec![0; self.arity])
         };
-        Enumerate { pq: self, next: first }
+        Enumerate {
+            pq: self,
+            next: first,
+        }
     }
 
     /// Count all solutions. Pseudo-linear for single-branch fragment
@@ -313,19 +551,32 @@ struct BranchEngine<'g> {
 }
 
 impl<'g> BranchEngine<'g> {
-    fn prepare(g: &'g ColoredGraph, fq: FragmentQuery, opts: &PrepareOpts) -> BranchEngine<'g> {
+    fn try_prepare(
+        g: &'g ColoredGraph,
+        fq: FragmentQuery,
+        opts: &PrepareOpts,
+        epsilon: f64,
+        tracker: &BudgetTracker,
+    ) -> Result<BranchEngine<'g>, BudgetExceeded> {
         let n = g.n();
         // Step 1: sentences (the ξ analogues). Independence sentences get
         // the fast scattered-set decision of Theorem 5.4's toolbox; other
-        // sentences fall back to naive model checking.
-        let active = fq.sentences.iter().all(|s| {
-            if let Some(ind) = crate::independence::recognize(s) {
+        // sentences fall back to naive model checking. Each check touches
+        // the whole vertex set at least once.
+        let mut active = true;
+        for s in &fq.sentences {
+            tracker.charge_nodes(Phase::SentenceCheck, n as u64 + 1)?;
+            let holds = if let Some(ind) = crate::independence::recognize(s) {
                 let witnesses = evaluate_unary(g, &ind.psi, ind.var);
                 crate::independence::holds(g, &ind, &witnesses)
             } else {
                 eval(g, &Query::new(s.clone(), vec![]), &[])
+            };
+            if !holds {
+                active = false;
+                break;
             }
-        });
+        }
 
         let mut engine = BranchEngine {
             g,
@@ -340,15 +591,17 @@ impl<'g> BranchEngine<'g> {
             fq,
         };
         if !active {
-            return engine;
+            return Ok(engine);
         }
 
         // Step 2: unary lists + bitsets (Unary Theorem substitute).
         for j in 0..engine.fq.k {
+            tracker.charge_nodes(Phase::UnaryEvaluation, n as u64 + 1)?;
             let list = match &engine.fq.unary[j] {
                 Formula::True => (0..n as Vertex).collect(),
                 f => evaluate_unary(g, f, engine.fq.vars[j]),
             };
+            tracker.charge_memory(Phase::UnaryEvaluation, 4 * list.len() as u64 + n as u64)?;
             let mut bits = vec![false; n];
             for &v in &list {
                 bits[v as usize] = true;
@@ -359,13 +612,12 @@ impl<'g> BranchEngine<'g> {
 
         // Step 3: distance oracles per distinct radius.
         let mut opts_dist = opts.dist;
-        opts_dist.epsilon = opts.epsilon;
+        opts_dist.epsilon = epsilon;
         for c in &engine.fq.binary {
             if let BinKind::Le(d) | BinKind::Gt(d) = c.kind {
-                engine
-                    .oracles
-                    .entry(d)
-                    .or_insert_with(|| DistOracle::build(g, d, &opts_dist));
+                if let std::collections::hash_map::Entry::Vacant(slot) = engine.oracles.entry(d) {
+                    slot.insert(DistOracle::try_build(g, d, &opts_dist, tracker)?);
+                }
             }
         }
 
@@ -378,11 +630,11 @@ impl<'g> BranchEngine<'g> {
             .any(|c| matches!(c.kind, BinKind::Le(_) | BinKind::Gt(_)));
         let needs_kernels = engine.fq.binary.iter().any(|c| c.kind.excluding());
         if needs_cover {
-            engine.cover = Some(Cover::build(g, 2 * r, opts.epsilon));
+            engine.cover = Some(Cover::try_build(g, 2 * r, epsilon, tracker)?);
         }
         if needs_kernels {
             let cover = engine.cover.as_ref().unwrap();
-            let kernels = KernelIndex::build(g, cover, r);
+            let kernels = KernelIndex::try_build(g, cover, r, tracker)?;
             for j in 0..engine.fq.k {
                 let far_count = engine
                     .fq
@@ -394,18 +646,19 @@ impl<'g> BranchEngine<'g> {
                     // kernel degrees) degrade to scans instead of blowing
                     // memory — the pseudo-linear budget of Lemma 5.8.
                     let cap = (64 * n).max(1_000_000);
-                    engine.skips[j] = Some(SkipPointers::build_with_cap(
+                    engine.skips[j] = Some(SkipPointers::try_build_with_cap(
                         n,
                         &kernels,
                         engine.unary_lists[j].clone(),
                         far_count,
                         cap,
-                    ));
+                        tracker,
+                    )?);
                 }
             }
             engine.kernels = Some(kernels);
         }
-        engine
+        Ok(engine)
     }
 
     /// Pseudo-linear counting (see `engine::counting`).
@@ -599,7 +852,9 @@ impl<'g> BranchEngine<'g> {
                 }
             }
             prefix.pop();
-            cand = b.checked_add(1).and_then(|nb| self.next_value(prefix, j, nb));
+            cand = b
+                .checked_add(1)
+                .and_then(|nb| self.next_value(prefix, j, nb));
         }
         None
     }
@@ -673,6 +928,7 @@ mod tests {
             },
             allow_fallback: true,
             extendability_check: true,
+            budget: Budget::UNLIMITED,
         }
     }
 
@@ -754,7 +1010,10 @@ mod tests {
         let g = colored(generators::path(10), 1);
         let yes = parse_query("exists x. Blue(x)").unwrap();
         let pq = PreparedQuery::prepare(&g, &yes, &small_opts()).unwrap();
-        assert_eq!(pq.enumerate().collect::<Vec<_>>(), vec![Vec::<Vertex>::new()]);
+        assert_eq!(
+            pq.enumerate().collect::<Vec<_>>(),
+            vec![Vec::<Vertex>::new()]
+        );
         assert!(pq.test(&[]));
 
         let no = parse_query("exists x. (Blue(x) && Red(x) && !Blue(x))").unwrap();
@@ -801,7 +1060,10 @@ mod tests {
         let mut opts = small_opts();
         opts.extendability_check = false;
         let g = colored(generators::random_tree(25, 8), 4);
-        for src in ["dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)", "E(x,y) && Blue(x)"] {
+        for src in [
+            "dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)",
+            "E(x,y) && Blue(x)",
+        ] {
             check_full(&g, src, &opts, 77);
         }
     }

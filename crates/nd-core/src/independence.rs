@@ -235,10 +235,7 @@ mod tests {
 
     #[test]
     fn recognizer_accepts_standard_shapes() {
-        let q = parse_query(
-            "exists x. exists y. (dist(x,y) > 3 && Blue(x) && Blue(y))",
-        )
-        .unwrap();
+        let q = parse_query("exists x. exists y. (dist(x,y) > 3 && Blue(x) && Blue(y))").unwrap();
         let s = recognize(&q.formula).unwrap();
         assert_eq!(s.count, 2);
         assert_eq!(s.radius, 3);
@@ -255,8 +252,8 @@ mod tests {
     #[test]
     fn recognizer_rejects_non_independence() {
         for src in [
-            "exists x. exists y. (dist(x,y) <= 2 && Blue(x))",      // close, not far
-            "exists x. exists y. (dist(x,y) > 2 && Blue(x))",       // asymmetric ψ
+            "exists x. exists y. (dist(x,y) <= 2 && Blue(x))", // close, not far
+            "exists x. exists y. (dist(x,y) > 2 && Blue(x))",  // asymmetric ψ
             "exists x. exists y. (dist(x,y) > 2 && dist(x,y) > 3 && Blue(x) && Blue(y))", // mixed radii... same pair twice
             "exists x. exists y. exists z. (dist(x,y) > 2 && Blue(x) && Blue(y) && Blue(z))", // missing pair
         ] {
@@ -268,8 +265,14 @@ mod tests {
     #[test]
     fn decision_matches_naive_on_paths() {
         let g = blue_every(40, 5);
-        check(&g, "exists x. exists y. (dist(x,y) > 3 && Blue(x) && Blue(y))");
-        check(&g, "exists x. exists y. (dist(x,y) > 38 && Blue(x) && Blue(y))");
+        check(
+            &g,
+            "exists x. exists y. (dist(x,y) > 3 && Blue(x) && Blue(y))",
+        );
+        check(
+            &g,
+            "exists x. exists y. (dist(x,y) > 38 && Blue(x) && Blue(y))",
+        );
         check(
             &g,
             "exists x. exists y. exists z. (dist(x,y) > 10 && dist(x,z) > 10 && dist(y,z) > 10 && Blue(x) && Blue(y) && Blue(z))",
@@ -285,8 +288,14 @@ mod tests {
     fn decision_on_grids_and_trees() {
         let mut g = generators::grid(8, 8);
         g.add_color(vec![0, 7, 56, 63, 27], Some("Blue".into()));
-        check(&g, "exists x. exists y. (dist(x,y) > 9 && Blue(x) && Blue(y))");
-        check(&g, "exists x. exists y. (dist(x,y) > 13 && Blue(x) && Blue(y))");
+        check(
+            &g,
+            "exists x. exists y. (dist(x,y) > 9 && Blue(x) && Blue(y))",
+        );
+        check(
+            &g,
+            "exists x. exists y. (dist(x,y) > 13 && Blue(x) && Blue(y))",
+        );
         check(
             &g,
             "exists x. exists y. exists z. (dist(x,y) > 6 && dist(x,z) > 6 && dist(y,z) > 6 && Blue(x) && Blue(y) && Blue(z))",
@@ -294,7 +303,10 @@ mod tests {
 
         let mut t = generators::binary_tree(63);
         t.add_color((0..63).collect(), Some("Blue".into()));
-        check(&t, "exists x. exists y. (dist(x,y) > 8 && Blue(x) && Blue(y))");
+        check(
+            &t,
+            "exists x. exists y. (dist(x,y) > 8 && Blue(x) && Blue(y))",
+        );
     }
 
     #[test]
@@ -316,8 +328,14 @@ mod tests {
         // must correctly reject.
         let mut g = generators::star(50);
         g.add_color((1..=10).collect(), Some("Blue".into()));
-        check(&g, "exists x. exists y. (dist(x,y) > 2 && Blue(x) && Blue(y))");
+        check(
+            &g,
+            "exists x. exists y. (dist(x,y) > 2 && Blue(x) && Blue(y))",
+        );
         // Leaves are pairwise at distance exactly 2: > 1 holds.
-        check(&g, "exists x. exists y. (dist(x,y) > 1 && Blue(x) && Blue(y))");
+        check(
+            &g,
+            "exists x. exists y. (dist(x,y) > 1 && Blue(x) && Blue(y))",
+        );
     }
 }

@@ -24,10 +24,16 @@
 //!   rewriting + graph recoloring.
 //! * [`engine`] — query compilation and the `PreparedQuery` front-end
 //!   (Sections 5.2.1/5.2.2).
+//! * [`error`] — the workspace-wide typed error rollup ([`NdError`]) and
+//!   the engine-level [`PrepareError`] / [`QueryError`]. Public entry
+//!   points return these instead of panicking; preprocessing respects the
+//!   resource caps of [`Budget`] and degrades down a ladder (see
+//!   `PreparedQuery::prepare`) before giving up.
 
 pub mod dist;
 pub mod dynamic;
 pub mod engine;
+pub mod error;
 pub mod independence;
 pub mod removal;
 pub mod skip;
@@ -35,7 +41,11 @@ pub mod skip;
 pub use dist::DistOracle;
 pub use dynamic::{DynamicFarIndex, DynamicFarQuery};
 pub use engine::fragment::{BinKind, FragmentQuery, UnsupportedReason};
-pub use engine::prepared::{EngineKind, PrepareOpts, PrepareStats, PreparedQuery};
+pub use engine::prepared::{
+    DegradationReason, DegradationRung, EngineKind, PrepareOpts, PrepareStats, PreparedQuery,
+};
+pub use error::{InvalidInput, NdError, PrepareError, QueryError};
+pub use nd_graph::budget::{Budget, BudgetExceeded, BudgetTracker, Phase, Resource};
 pub use skip::SkipPointers;
 
 /// The accuracy parameter `ε` of every pseudo-linear bound. Must be
@@ -45,9 +55,20 @@ pub use skip::SkipPointers;
 pub struct Epsilon(f64);
 
 impl Epsilon {
+    /// Panicking convenience over [`Epsilon::try_new`] for literal values.
     pub fn new(eps: f64) -> Epsilon {
-        assert!(eps > 0.0 && eps.is_finite(), "epsilon must be positive");
-        Epsilon(eps)
+        Self::try_new(eps).expect("epsilon must be positive and finite")
+    }
+
+    /// Validate `ε`: it must be a finite positive real.
+    pub fn try_new(eps: f64) -> Result<Epsilon, NdError> {
+        if eps > 0.0 && eps.is_finite() {
+            Ok(Epsilon(eps))
+        } else {
+            Err(NdError::Prepare(PrepareError::InvalidInput(
+                InvalidInput::BadEpsilon(eps),
+            )))
+        }
     }
 
     pub fn get(self) -> f64 {

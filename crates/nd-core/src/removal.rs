@@ -25,8 +25,8 @@
 //! exactly as Lemma 5.5 requires; the formula may grow by a factor `2^{qr}`,
 //! which is a function of the query only.
 
-use nd_logic::ast::{ColorRef, Formula, VarId};
 use nd_graph::{BfsScratch, ColoredGraph, InducedSubgraph, Vertex};
+use nd_logic::ast::{ColorRef, Formula, VarId};
 use std::collections::BTreeSet;
 
 /// Output of the removal rewriting.
@@ -61,9 +61,44 @@ impl Removal {
     }
 }
 
-/// Apply the Removal Lemma: remove `s` from `g`, rewriting `φ` with the
-/// variables of `y_vars` pinned to `s`.
+/// Panicking convenience over [`try_remove_node`] for pre-validated
+/// inputs.
 pub fn remove_node(g: &ColoredGraph, phi: &Formula, y_vars: &[VarId], s: Vertex) -> Removal {
+    try_remove_node(g, phi, y_vars, s).expect("invalid removal input")
+}
+
+/// Apply the Removal Lemma: remove `s` from `g`, rewriting `φ` with the
+/// variables of `y_vars` pinned to `s`. Rejects an `s` outside the graph
+/// and formulas with relational atoms (which must be rewritten away by
+/// Lemma 2.2 first) instead of panicking.
+pub fn try_remove_node(
+    g: &ColoredGraph,
+    phi: &Formula,
+    y_vars: &[VarId],
+    s: Vertex,
+) -> Result<Removal, crate::NdError> {
+    if (s as usize) >= g.n() {
+        return Err(nd_graph::GraphError::VertexOutOfRange { v: s, n: g.n() }.into());
+    }
+    if let Some(name) = find_rel_atom(phi) {
+        return Err(crate::PrepareError::UnsupportedFragment(
+            crate::UnsupportedReason::RelationalAtom(name),
+        )
+        .into());
+    }
+    Ok(remove_node_unchecked(g, phi, y_vars, s))
+}
+
+fn find_rel_atom(f: &Formula) -> Option<String> {
+    match f {
+        Formula::Rel(name, _) => Some(name.clone()),
+        Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => find_rel_atom(g),
+        Formula::And(gs) | Formula::Or(gs) => gs.iter().find_map(find_rel_atom),
+        _ => None,
+    }
+}
+
+fn remove_node_unchecked(g: &ColoredGraph, phi: &Formula, y_vars: &[VarId], s: Vertex) -> Removal {
     let max_d = phi.max_dist_atom().max(1);
 
     // H = G[V ∖ {s}] with all original colors restricted, plus the distance
@@ -206,10 +241,10 @@ impl Rewriter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nd_graph::generators;
     use nd_logic::ast::Query;
     use nd_logic::eval::eval;
     use nd_logic::parse_query;
-    use nd_graph::generators;
 
     /// Exhaustive equivalence check of the lemma's guarantee over all
     /// tuples, all choices of ȳ ⊆ z̄, and several removal nodes.
@@ -308,7 +343,11 @@ mod tests {
     #[test]
     fn quantifier_splitting() {
         check(&small_colored(), "exists z. (E(x, z) && E(z, y))", &[1, 5]);
-        check(&small_colored(), "forall z. (!E(x, z) || Blue(z)) && x = x", &[0]);
+        check(
+            &small_colored(),
+            "forall z. (!E(x, z) || Blue(z)) && x = x",
+            &[0],
+        );
     }
 
     #[test]

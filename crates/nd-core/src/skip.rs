@@ -23,6 +23,7 @@
 //! Claim 5.9.
 
 use nd_cover::{BagId, KernelIndex};
+use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::Vertex;
 use std::collections::HashMap;
 
@@ -95,11 +96,36 @@ impl SkipPointers {
     pub fn build_with_cap(
         n: usize,
         kernels: &KernelIndex,
-        mut list: Vec<Vertex>,
+        list: Vec<Vertex>,
         k: usize,
         max_entries: usize,
     ) -> SkipPointers {
-        assert!((1..=MAX_SET).contains(&k), "k must be in 1..=4");
+        Self::try_build_with_cap(
+            n,
+            kernels,
+            list,
+            k,
+            max_entries,
+            &BudgetTracker::unlimited(),
+        )
+        .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// [`Self::build_with_cap`] with cooperative cancellation: every table
+    /// entry is charged against `tracker`, so a capped preprocessing run
+    /// aborts the `SC(b)` closure with [`BudgetExceeded`] instead of
+    /// filling memory on adversarial kernel degrees. `k` is clamped into
+    /// `1..=4` (larger simultaneous sets degrade to verified scans at
+    /// query time; see [`Self::skip`]).
+    pub fn try_build_with_cap(
+        n: usize,
+        kernels: &KernelIndex,
+        mut list: Vec<Vertex>,
+        k: usize,
+        max_entries: usize,
+        tracker: &BudgetTracker,
+    ) -> Result<SkipPointers, BudgetExceeded> {
+        let k = k.clamp(1, MAX_SET);
         list.sort_unstable();
         list.dedup();
         let mut in_list = vec![false; n];
@@ -125,14 +151,12 @@ impl SkipPointers {
             table: HashMap::new(),
             truncated: false,
         };
+        tracker.charge_memory(Phase::SkipClosure, 9 * n as u64)?;
         // Claim 5.10: compute SKIP(b, S) for S ∈ SC(b), b descending, sets
         // in breadth-first (size) order.
         'outer: for b in (0..n as Vertex).rev() {
-            let mut queue: Vec<Vec<BagId>> = kernels
-                .kernel_bags_of(b)
-                .iter()
-                .map(|&x| vec![x])
-                .collect();
+            let mut queue: Vec<Vec<BagId>> =
+                kernels.kernel_bags_of(b).iter().map(|&x| vec![x]).collect();
             let mut head = 0;
             while head < queue.len() {
                 let s = std::mem::take(&mut queue[head]);
@@ -145,6 +169,8 @@ impl SkipPointers {
                     sp.truncated = true;
                     break 'outer;
                 }
+                tracker.charge_nodes(Phase::SkipClosure, 1)?;
+                tracker.charge_memory(Phase::SkipClosure, 48)?;
                 let skip = sp.compute_skip(kernels, b, &s);
                 sp.table.insert(key, skip);
                 if s.len() < k {
@@ -160,7 +186,7 @@ impl SkipPointers {
                 }
             }
         }
-        sp
+        Ok(sp)
     }
 
     /// Number of precomputed table entries (experiment E8: `O(n·δ^k)`).
@@ -180,12 +206,15 @@ impl SkipPointers {
     }
 
     /// `SKIP(b, S)` for an arbitrary set `S` of at most `k` bags
-    /// (Claim 5.9). Constant time.
+    /// (Claim 5.9). Constant time. Sets larger than the prepared `k` are
+    /// answered by a correct (linear) scan instead of panicking.
     pub fn skip(&self, kernels: &KernelIndex, b: Vertex, bags: &[BagId]) -> Option<Vertex> {
         let mut s: Vec<BagId> = bags.to_vec();
         s.sort_unstable();
         s.dedup();
-        assert!(s.len() <= self.k, "set larger than the prepared k");
+        if s.len() > self.k {
+            return self.scan_fallback(kernels, b, &s);
+        }
         self.compute_skip(kernels, b, &s)
     }
 
@@ -237,12 +266,7 @@ impl SkipPointers {
     }
 
     /// Correct (but linear) fallback used only past the table cap.
-    fn scan_fallback(
-        &self,
-        kernels: &KernelIndex,
-        from: Vertex,
-        s: &[BagId],
-    ) -> Option<Vertex> {
+    fn scan_fallback(&self, kernels: &KernelIndex, from: Vertex, s: &[BagId]) -> Option<Vertex> {
         let mut cur = if self.in_list[from as usize] {
             Some(from)
         } else {
@@ -295,7 +319,12 @@ mod tests {
         (kernels, sp)
     }
 
-    fn random_bagsets(kernels: &KernelIndex, n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<BagId>> {
+    fn random_bagsets(
+        kernels: &KernelIndex,
+        n: usize,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Vec<BagId>> {
         let mut out = Vec::new();
         for _ in 0..60 {
             let mut s = Vec::new();

@@ -88,10 +88,7 @@ fn far_constraint_with_radius_exceeding_diameter() {
     // Two components at infinite distance do satisfy dist > 100.
     let g2 = blue(generators::random_forest(20, 0.5, 1), 1);
     let pq = PreparedQuery::prepare(&g2, &q, &PrepareOpts::default()).unwrap();
-    assert_eq!(
-        pq.enumerate().collect::<Vec<_>>(),
-        materialize(&g2, &q)
-    );
+    assert_eq!(pq.enumerate().collect::<Vec<_>>(), materialize(&g2, &q));
 }
 
 #[test]
@@ -134,10 +131,8 @@ fn inactive_branch_via_false_sentence() {
     assert_eq!(pq.count(), 0);
 
     // A true independence sentence keeps it active.
-    let q = parse_query(
-        "(exists u. exists w. (dist(u,w) > 3 && Blue(u) && Blue(w))) && E(x,y)",
-    )
-    .unwrap();
+    let q = parse_query("(exists u. exists w. (dist(u,w) > 3 && Blue(u) && Blue(w))) && E(x,y)")
+        .unwrap();
     let pq = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap();
     assert_eq!(pq.enumerate().count(), 18);
 }
@@ -159,10 +154,7 @@ fn head_reorders_answer_columns() {
     let rev = parse_query("q(y, x) := dist(x,y) > 2 && Blue(y)").unwrap();
     let pq_f = PreparedQuery::prepare(&g, &fwd, &PrepareOpts::default()).unwrap();
     let pq_r = PreparedQuery::prepare(&g, &rev, &PrepareOpts::default()).unwrap();
-    let mut swapped: Vec<Vec<Vertex>> = pq_f
-        .enumerate()
-        .map(|t| vec![t[1], t[0]])
-        .collect();
+    let mut swapped: Vec<Vec<Vertex>> = pq_f.enumerate().map(|t| vec![t[1], t[0]]).collect();
     swapped.sort();
     assert_eq!(pq_r.enumerate().collect::<Vec<_>>(), swapped);
 }

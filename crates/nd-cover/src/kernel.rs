@@ -8,6 +8,7 @@
 //! so a single multi-source BFS inside the bag suffices.
 
 use crate::{BagId, Cover};
+use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::{ColoredGraph, Vertex};
 
 /// Compute `K_p(X)` for the (sorted) bag `verts` of graph `g`.
@@ -61,21 +62,38 @@ pub struct KernelIndex {
 
 impl KernelIndex {
     /// Compute `K_p(X)` for every bag (total cost `O(p · Σ_X ‖G[X]‖)`).
+    ///
+    /// Unbudgeted convenience; see [`KernelIndex::try_build`].
     pub fn build(g: &ColoredGraph, cover: &Cover, p: u32) -> KernelIndex {
+        Self::try_build(g, cover, p, &BudgetTracker::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// Compute `K_p(X)` for every bag, charging per-bag work against
+    /// `tracker`.
+    pub fn try_build(
+        g: &ColoredGraph,
+        cover: &Cover,
+        p: u32,
+        tracker: &BudgetTracker,
+    ) -> Result<KernelIndex, BudgetExceeded> {
         let mut kernels = Vec::with_capacity(cover.num_bags());
         let mut kernel_bags_of: Vec<Vec<BagId>> = vec![Vec::new(); g.n()];
         for id in 0..cover.num_bags() as BagId {
-            let k = kernel_of_bag(g, &cover.bag(id).verts, p);
+            let verts = &cover.bag(id).verts;
+            tracker.charge_nodes(Phase::KernelConstruction, verts.len() as u64 + 1)?;
+            let k = kernel_of_bag(g, verts, p);
+            tracker.charge_memory(Phase::KernelConstruction, 4 * k.len() as u64 + 8)?;
             for &v in &k {
                 kernel_bags_of[v as usize].push(id);
             }
             kernels.push(k);
         }
-        KernelIndex {
+        Ok(KernelIndex {
             p,
             kernels,
             kernel_bags_of,
-        }
+        })
     }
 
     /// Sorted kernel of a bag.

@@ -23,6 +23,7 @@ pub mod kernel;
 
 pub use kernel::{kernel_of_bag, KernelIndex};
 
+use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::{BfsScratch, ColoredGraph, Vertex};
 use nd_store::{KeySet, StoreParams};
 
@@ -55,12 +56,30 @@ pub struct Cover {
 impl Cover {
     /// Greedy `(r, 2r)`-cover of `g`; `epsilon` parameterizes the membership
     /// store.
+    ///
+    /// Unbudgeted convenience; see [`Cover::try_build`] for cooperative
+    /// cancellation.
     pub fn build(g: &ColoredGraph, r: u32, epsilon: f64) -> Cover {
+        Self::try_build(g, r, epsilon, &BudgetTracker::unlimited())
+            .expect("unlimited budget cannot be exceeded")
+    }
+
+    /// Greedy `(r, 2r)`-cover of `g`, charging BFS visits and trie inserts
+    /// against `tracker` so that a capped preprocessing run bails out with
+    /// [`BudgetExceeded`] instead of building an `Ω(n²)` cover on a dense
+    /// graph.
+    pub fn try_build(
+        g: &ColoredGraph,
+        r: u32,
+        epsilon: f64,
+        tracker: &BudgetTracker,
+    ) -> Result<Cover, BudgetExceeded> {
         let n = g.n();
         let mut covered = vec![false; n];
         let mut assignment = vec![0 as BagId; n];
         let mut bags: Vec<Bag> = Vec::new();
         let mut scratch = BfsScratch::new(n);
+        tracker.charge_memory(Phase::CoverConstruction, 6 * n as u64)?;
         for c in 0..n as Vertex {
             if covered[c as usize] {
                 continue;
@@ -69,6 +88,11 @@ impl Cover {
             scratch.run(g, c, 2 * r);
             let mut verts: Vec<Vertex> = scratch.reached().to_vec();
             verts.sort_unstable();
+            // The 2r-ball BFS visits |verts| vertices and the kernel BFS
+            // below touches each bag member O(r) more times; charge the
+            // dominant term.
+            tracker.charge_nodes(Phase::CoverConstruction, verts.len() as u64 + 1)?;
+            tracker.charge_memory(Phase::CoverConstruction, 4 * verts.len() as u64)?;
             // Every vertex of the bag's r-kernel has its whole r-ball inside
             // the bag, so the bag can serve as X(a) for all of them — this
             // covers a superset of N_r(c) (which is always inside the
@@ -98,19 +122,24 @@ impl Cover {
         let params = StoreParams::new(n.max(bags.len()).max(1) as u64, 2, epsilon.max(1e-9));
         let mut membership = KeySet::new(params);
         for (id, bag) in bags.iter().enumerate() {
+            // nd-store has no budget hooks of its own (it sits below
+            // nd-graph in the DAG); its callers charge trie work here.
+            tracker.charge_nodes(Phase::TrieBuild, bag.verts.len() as u64)?;
+            tracker.charge_memory(Phase::TrieBuild, 16 * bag.verts.len() as u64)?;
             for &v in &bag.verts {
                 membership.insert(&[id as u64, v as u64]);
             }
         }
+        tracker.checkpoint(Phase::CoverConstruction)?;
 
-        Cover {
+        Ok(Cover {
             r,
             bags,
             assignment,
             bags_of,
             assigned_members,
             membership,
-        }
+        })
     }
 
     /// Number of bags.

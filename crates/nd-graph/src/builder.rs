@@ -1,5 +1,6 @@
 //! Mutable construction of [`ColoredGraph`]s.
 
+use crate::error::GraphError;
 use crate::graph::{ColoredGraph, Vertex};
 
 /// Collects edges and colors, then freezes them into a CSR-encoded
@@ -12,13 +13,24 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// A builder for a graph on vertices `0..n`.
+    ///
+    /// Panicking convenience; use [`GraphBuilder::try_new`] for untrusted
+    /// vertex counts.
     pub fn new(n: usize) -> Self {
-        assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
-        GraphBuilder {
+        Self::try_new(n).expect("vertex ids must fit in u32")
+    }
+
+    /// A builder for a graph on vertices `0..n`, rejecting counts that do
+    /// not fit the `u32` id space.
+    pub fn try_new(n: usize) -> Result<Self, GraphError> {
+        if n >= u32::MAX as usize {
+            return Err(GraphError::TooManyVertices { n });
+        }
+        Ok(GraphBuilder {
             n,
             edges: Vec::new(),
             colors: Vec::new(),
-        }
+        })
     }
 
     /// Number of vertices.
@@ -27,11 +39,25 @@ impl GraphBuilder {
     }
 
     /// Add an undirected edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// Panicking convenience; use [`GraphBuilder::try_add_edge`] for
+    /// untrusted endpoints.
     pub fn add_edge(&mut self, u: Vertex, v: Vertex) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "vertex out of range");
+        self.try_add_edge(u, v).expect("vertex out of range");
+    }
+
+    /// Add an undirected edge `{u, v}`, rejecting out-of-range endpoints.
+    /// Self-loops are ignored.
+    pub fn try_add_edge(&mut self, u: Vertex, v: Vertex) -> Result<(), GraphError> {
+        for w in [u, v] {
+            if (w as usize) >= self.n {
+                return Err(GraphError::VertexOutOfRange { v: w, n: self.n });
+            }
+        }
         if u != v {
             self.edges.push((u.min(v), u.max(v)));
         }
+        Ok(())
     }
 
     /// Add an edge if it is not already present (linear scan-free: dedup
@@ -46,7 +72,15 @@ impl GraphBuilder {
     }
 
     /// Freeze into an immutable graph.
-    pub fn build(mut self) -> ColoredGraph {
+    ///
+    /// Panicking convenience; use [`GraphBuilder::try_build`] when color
+    /// member lists are untrusted.
+    pub fn build(self) -> ColoredGraph {
+        self.try_build().expect("color member out of range")
+    }
+
+    /// Freeze into an immutable graph, rejecting out-of-range color members.
+    pub fn try_build(mut self) -> Result<ColoredGraph, GraphError> {
         self.edges.sort_unstable();
         self.edges.dedup();
 
@@ -87,9 +121,9 @@ impl GraphBuilder {
             color_names: Vec::new(),
         };
         for (members, name) in self.colors.drain(..) {
-            g.add_color(members, name);
+            g.try_add_color(members, name)?;
         }
-        g
+        Ok(g)
     }
 }
 

@@ -1,0 +1,32 @@
+//! Typed errors for graph construction and validation.
+//!
+//! Every panic on a public construction path of this crate has a fallible
+//! `try_*` twin returning [`GraphError`]; the panicking variants are kept as
+//! documented conveniences for callers with pre-validated input.
+
+use crate::graph::Vertex;
+use std::fmt;
+
+/// Errors raised while constructing or mutating a colored graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id does not fit in the graph's domain `0..n`.
+    VertexOutOfRange { v: Vertex, n: usize },
+    /// The requested vertex count does not fit the `u32` id space.
+    TooManyVertices { n: usize },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { v, n } => {
+                write!(f, "vertex {v} out of range for a graph on {n} vertices")
+            }
+            GraphError::TooManyVertices { n } => {
+                write!(f, "vertex count {n} exceeds the u32 id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -120,18 +120,37 @@ impl ColoredGraph {
             .map(|i| ColorId(i as u32))
     }
 
-    /// Register a new color with the given (sorted, deduplicated) members.
+    /// Register a new color with the given members (sorted and deduplicated
+    /// here).
     ///
     /// This is the recoloring primitive used by the Removal Lemma: a
     /// `σ_{c'}`-expansion of the graph is obtained by adding colors.
-    pub fn add_color(&mut self, mut members: Vec<Vertex>, name: Option<String>) -> ColorId {
+    ///
+    /// Panicking convenience; use [`ColoredGraph::try_add_color`] for
+    /// untrusted member lists.
+    pub fn add_color(&mut self, members: Vec<Vertex>, name: Option<String>) -> ColorId {
+        self.try_add_color(members, name)
+            .expect("color member out of range")
+    }
+
+    /// Register a new color, rejecting out-of-range members instead of
+    /// silently corrupting membership queries.
+    pub fn try_add_color(
+        &mut self,
+        mut members: Vec<Vertex>,
+        name: Option<String>,
+    ) -> Result<ColorId, crate::error::GraphError> {
         members.sort_unstable();
         members.dedup();
-        debug_assert!(members.last().is_none_or(|&v| (v as usize) < self.n()));
+        if let Some(&v) = members.last() {
+            if (v as usize) >= self.n() {
+                return Err(crate::error::GraphError::VertexOutOfRange { v, n: self.n() });
+            }
+        }
         let id = ColorId(self.color_members.len() as u32);
         self.color_members.push(members);
         self.color_names.push(name);
-        id
+        Ok(id)
     }
 
     /// Total number of (vertex, color) memberships — the size of the unary

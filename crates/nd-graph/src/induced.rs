@@ -54,14 +54,18 @@ impl InducedSubgraph {
                 .filter(|(_, &v)| g.has_color(v, cid))
                 .map(|(i, _)| i as Vertex)
                 .collect();
-            sub.graph.add_color(members, g.color_name(cid).map(str::to_owned));
+            sub.graph
+                .add_color(members, g.color_name(cid).map(str::to_owned));
         }
         sub
     }
 
     /// Induce only the edge relation, no colors.
     pub fn new_uncolored(g: &ColoredGraph, verts: &[Vertex]) -> Self {
-        debug_assert!(verts.windows(2).all(|w| w[0] < w[1]), "verts must be sorted+dedup");
+        debug_assert!(
+            verts.windows(2).all(|w| w[0] < w[1]),
+            "verts must be sorted+dedup"
+        );
         let local = |v: Vertex| -> Option<u32> { verts.binary_search(&v).ok().map(|i| i as u32) };
         let n = verts.len();
         let mut offsets = Vec::with_capacity(n + 1);

@@ -89,7 +89,9 @@ pub fn read_graph(r: impl BufRead) -> Result<ColoredGraph, ReadError> {
                 if builder.is_some() {
                     return Err(err("duplicate 'n' line".into()));
                 }
-                builder = Some(GraphBuilder::new(n));
+                builder = Some(
+                    GraphBuilder::try_new(n).map_err(|e| err(format!("bad vertex count: {e}")))?,
+                );
             }
             "e" => {
                 let b = builder
@@ -115,15 +117,19 @@ pub fn read_graph(r: impl BufRead) -> Result<ColoredGraph, ReadError> {
                 b.add_edge(u, v);
             }
             "c" => {
-                if builder.is_none() {
-                    return Err(err("'c' before 'n'".into()));
-                }
+                let nv = builder
+                    .as_ref()
+                    .ok_or_else(|| err("'c' before 'n'".into()))?
+                    .n();
                 let name = parts
                     .next()
                     .ok_or_else(|| err("missing color name".into()))?
                     .to_string();
                 let members: Result<Vec<Vertex>, _> = parts.map(str::parse).collect();
                 let members = members.map_err(|e| err(format!("bad color member: {e}")))?;
+                if let Some(&v) = members.iter().find(|&&v| (v as usize) >= nv) {
+                    return Err(err(format!("color member {v} out of range [0,{nv})")));
+                }
                 colors.push((name, members));
             }
             other => return Err(err(format!("unknown line tag {other:?}"))),
@@ -180,5 +186,52 @@ mod tests {
         assert!(read_graph("n 2\nn 3\n".as_bytes()).is_err()); // duplicate n
         assert!(read_graph("".as_bytes()).is_err()); // empty
         assert!(read_graph("n 2\ne 0\n".as_bytes()).is_err()); // missing endpoint
+    }
+
+    fn parse_error_on_line(src: &str, want_line: usize, want_substr: &str) {
+        match read_graph(src.as_bytes()) {
+            Err(ReadError::Parse { line, message }) => {
+                assert_eq!(line, want_line, "wrong line for {src:?}: {message}");
+                assert!(
+                    message.contains(want_substr),
+                    "message {message:?} missing {want_substr:?}"
+                );
+            }
+            other => panic!("expected parse error for {src:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        // Color member beyond the declared vertex count.
+        parse_error_on_line("n 3\nc Blue 0 7\n", 2, "out of range");
+        // Negative counts/ids fail integer parsing.
+        parse_error_on_line("n -4\n", 1, "bad vertex count");
+        parse_error_on_line("n 3\ne -1 0\n", 2, "bad endpoint");
+        parse_error_on_line("n 3\nc Blue -2\n", 2, "bad color member");
+        // A vertex count that overflows the u32 id space must not panic.
+        parse_error_on_line("n 99999999999999999999\n", 1, "bad vertex count");
+        parse_error_on_line(
+            &format!("n {}\n", u32::MAX as u64 + 7),
+            1,
+            "bad vertex count",
+        );
+        // Duplicate header reports the second occurrence.
+        parse_error_on_line("n 2\nn 2\n", 2, "duplicate 'n'");
+    }
+
+    #[test]
+    fn roundtrip_with_empty_and_unnamed_colors() {
+        let mut g = generators::path(6);
+        g.add_color(vec![5, 0], None);
+        g.add_color(vec![], Some("Empty".into()));
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(&buf[..]).unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(g2.num_colors(), 2);
+        assert_eq!(g2.color_members(ColorId(0)), &[0, 5]);
+        assert_eq!(g2.color_members(ColorId(1)), &[] as &[Vertex]);
     }
 }

@@ -17,10 +17,15 @@
 //! * [`stats`] — degeneracy orderings, degree statistics and the
 //!   weak-`r`-accessibility measure used to characterize nowhere dense
 //!   classes empirically.
+//! * [`budget`] — resource caps ([`Budget`]) and cooperative-cancellation
+//!   trackers shared by every preprocessing phase of the upper crates.
+//! * [`error`] — typed construction errors ([`GraphError`]).
 
 pub mod bfs;
+pub mod budget;
 pub mod builder;
 pub mod components;
+pub mod error;
 pub mod generators;
 pub mod graph;
 pub mod induced;
@@ -29,6 +34,8 @@ pub mod relational;
 pub mod stats;
 
 pub use bfs::BfsScratch;
+pub use budget::{Budget, BudgetExceeded, BudgetTracker, Phase, Resource};
 pub use builder::GraphBuilder;
+pub use error::GraphError;
 pub use graph::{ColorId, ColoredGraph, Vertex};
 pub use induced::InducedSubgraph;

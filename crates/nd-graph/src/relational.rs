@@ -131,11 +131,7 @@ pub fn adjacency_graph(db: &RelationalDb) -> (ColoredGraph, AdjacencyMapping) {
     let k = db.max_arity();
     let n_elements = db.domain_size;
     let n_tuples: usize = db.relations.iter().map(|(_, ts)| ts.len()).sum();
-    let n_incidences: usize = db
-        .relations
-        .iter()
-        .map(|(d, ts)| d.arity * ts.len())
-        .sum();
+    let n_incidences: usize = db.relations.iter().map(|(d, ts)| d.arity * ts.len()).sum();
 
     let mut b = GraphBuilder::new(n_elements + n_tuples + n_incidences);
     let mut position_members: Vec<Vec<Vertex>> = vec![Vec::new(); k];

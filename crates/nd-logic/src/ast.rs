@@ -206,9 +206,7 @@ impl Formula {
             | Formula::DistLe(..) => 1,
             Formula::Rel(_, xs) => 1 + xs.len(),
             Formula::Not(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(Formula::size).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
             Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
         }
     }
@@ -219,16 +217,12 @@ impl Formula {
     pub fn has_q_rank_at_most(&self, q: u32, ell: u32) -> bool {
         fn walk(f: &Formula, q: u32, ell: u32, depth: u32) -> bool {
             match f {
-                Formula::DistLe(_, _, d) => {
-                    depth <= ell && (*d as u64) <= f_q(q, ell - depth)
-                }
+                Formula::DistLe(_, _, d) => depth <= ell && (*d as u64) <= f_q(q, ell - depth),
                 Formula::Exists(_, g) | Formula::Forall(_, g) => {
                     depth < ell && walk(g, q, ell, depth + 1)
                 }
                 Formula::Not(g) => walk(g, q, ell, depth),
-                Formula::And(gs) | Formula::Or(gs) => {
-                    gs.iter().all(|g| walk(g, q, ell, depth))
-                }
+                Formula::And(gs) | Formula::Or(gs) => gs.iter().all(|g| walk(g, q, ell, depth)),
                 _ => true,
             }
         }
@@ -417,8 +411,14 @@ mod tests {
 
     #[test]
     fn smart_constructors_simplify() {
-        assert_eq!(Formula::and([Formula::True, Formula::Edge(x(), y())]), Formula::Edge(x(), y()));
-        assert_eq!(Formula::and([Formula::False, Formula::Edge(x(), y())]), Formula::False);
+        assert_eq!(
+            Formula::and([Formula::True, Formula::Edge(x(), y())]),
+            Formula::Edge(x(), y())
+        );
+        assert_eq!(
+            Formula::and([Formula::False, Formula::Edge(x(), y())]),
+            Formula::False
+        );
         assert_eq!(Formula::or([]), Formula::False);
         assert_eq!(
             Formula::or([Formula::Or(vec![Formula::True])]),
@@ -467,7 +467,10 @@ mod tests {
                 Formula::dist_gt(x(), y(), 2),
             ])),
         );
-        assert_eq!(format!("{f}"), "exists v1. ((E(v0,v1) && !(dist(v0,v1)<=2)))");
+        assert_eq!(
+            format!("{f}"),
+            "exists v1. ((E(v0,v1) && !(dist(v0,v1)<=2)))"
+        );
     }
 
     #[test]

@@ -291,17 +291,18 @@ mod tests {
         let g = colored_path();
         let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
         let sols = materialize(&g, &q);
-        assert_eq!(
-            sols,
-            vec![vec![0, 4], vec![1, 4], vec![4, 1]]
-        );
+        assert_eq!(sols, vec![vec![0, 4], vec![1, 4], vec![4, 1]]);
     }
 
     #[test]
     fn quantifiers() {
         let g = colored_path();
         // Every vertex has a neighbor.
-        assert!(eval(&g, &parse_query("forall x. exists y. E(x,y)").unwrap(), &[]));
+        assert!(eval(
+            &g,
+            &parse_query("forall x. exists y. E(x,y)").unwrap(),
+            &[]
+        ));
         // Some vertex is blue and has a blue vertex at distance 3.
         assert!(eval(
             &g,

@@ -109,10 +109,7 @@ fn walk(f: &Formula, env: &mut HashMap<VarId, u32>, reach: &mut u32) -> bool {
         Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| walk(g, env, reach)),
         Formula::Exists(y, body) => {
             let parts = conj_parts(body);
-            let bound = parts
-                .iter()
-                .filter_map(|p| guard_bound(env, p, *y))
-                .min();
+            let bound = parts.iter().filter_map(|p| guard_bound(env, p, *y)).min();
             let Some(bound) = bound else { return false };
             let old = env.insert(*y, bound);
             let ok = parts.iter().all(|p| walk(p, env, reach));
@@ -157,10 +154,7 @@ pub fn evaluate_unary(g: &ColoredGraph, f: &Formula, root: VarId) -> Vec<Vertex>
     if is_colorwise(f, root) {
         // Quantifier-free boolean combination of colors of the root: no
         // neighborhood needed, evaluate per vertex directly.
-        return g
-            .vertices()
-            .filter(|&v| eval_colorwise(g, f, v))
-            .collect();
+        return g.vertices().filter(|&v| eval_colorwise(g, f, v)).collect();
     }
     match unary_locality(f, root) {
         Some(radius) => evaluate_unary_local(g, f, root, radius),

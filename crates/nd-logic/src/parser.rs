@@ -575,10 +575,7 @@ mod tests {
         let q = parse_query("R(x, y, z) && x != y").unwrap();
         assert!(matches!(q.formula, F::And(_)));
         let q = parse_query("S(x)").unwrap();
-        assert_eq!(
-            q.formula,
-            F::Color(ColorRef::Named("S".into()), VarId(0))
-        );
+        assert_eq!(q.formula, F::Color(ColorRef::Named("S".into()), VarId(0)));
     }
 
     #[test]

@@ -47,10 +47,7 @@ impl Rewriter<'_> {
                     "relation {name} not in the adjacency mapping"
                 );
                 let t = self.fresh();
-                let mut parts = vec![Formula::Color(
-                    ColorRef::Named(format!("@rel:{name}")),
-                    t,
-                )];
+                let mut parts = vec![Formula::Color(ColorRef::Named(format!("@rel:{name}")), t)];
                 for (i, &x) in xs.iter().enumerate() {
                     let z = self.fresh();
                     parts.push(Formula::Exists(
@@ -66,10 +63,7 @@ impl Rewriter<'_> {
             }
             Formula::Exists(v, g) => {
                 let body = self.rewrite(g);
-                Formula::Exists(
-                    *v,
-                    Box::new(Formula::And(vec![self.elem(*v), body])),
-                )
+                Formula::Exists(*v, Box::new(Formula::And(vec![self.elem(*v), body])))
             }
             Formula::Forall(v, g) => {
                 let body = self.rewrite(g);
@@ -111,16 +105,12 @@ pub fn rewrite_to_graph(q: &Query, mapping: &AdjacencyMapping) -> Query {
 fn max_var(f: &Formula) -> Option<VarId> {
     match f {
         Formula::True | Formula::False => None,
-        Formula::Edge(x, y) | Formula::Eq(x, y) | Formula::DistLe(x, y, _) => {
-            Some(*x.max(y))
-        }
+        Formula::Edge(x, y) | Formula::Eq(x, y) | Formula::DistLe(x, y, _) => Some(*x.max(y)),
         Formula::Color(_, x) => Some(*x),
         Formula::Rel(_, xs) => xs.iter().max().copied(),
         Formula::Not(g) => max_var(g),
         Formula::And(gs) | Formula::Or(gs) => gs.iter().filter_map(max_var).max(),
-        Formula::Exists(v, g) | Formula::Forall(v, g) => {
-            Some(max_var(g).map_or(*v, |m| m.max(*v)))
-        }
+        Formula::Exists(v, g) | Formula::Forall(v, g) => Some(max_var(g).map_or(*v, |m| m.max(*v))),
     }
 }
 
@@ -168,11 +158,7 @@ mod tests {
     #[test]
     fn ternary_relation() {
         let mut db = RelationalDb::new(4);
-        db.add_relation(
-            "T",
-            3,
-            vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 0, 0]],
-        );
+        db.add_relation("T", 3, vec![vec![0, 1, 2], vec![1, 2, 3], vec![0, 0, 0]]);
         check_equivalence(&db, "T(x, y, z)");
         check_equivalence(&db, "exists u. T(x, u, y)");
         // Positional sensitivity: T(x,y,·) vs T(y,x,·).
@@ -208,10 +194,7 @@ mod tests {
         let q = parse_query("exists x. exists y. (R(x, y) && S(y))").unwrap();
         let (g, mapping) = adjacency_graph(&db);
         let psi = rewrite_to_graph(&q, &mapping);
-        assert_eq!(
-            materialize_db(&db, &q).len(),
-            materialize(&g, &psi).len()
-        );
+        assert_eq!(materialize_db(&db, &q).len(), materialize(&g, &psi).len());
         assert_eq!(materialize(&g, &psi), vec![Vec::<u32>::new()]);
     }
 }

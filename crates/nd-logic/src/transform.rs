@@ -136,23 +136,16 @@ fn max_var_id(f: &Formula) -> Option<VarId> {
 
 /// Pull quantifiers outward. `negated` tracks polarity (a quantifier under
 /// a negation dualizes).
-fn pull(
-    f: &Formula,
-    negated: bool,
-    prefix: &mut Vec<(Quant, VarId)>,
-    next: &mut u32,
-) -> Formula {
+fn pull(f: &Formula, negated: bool, prefix: &mut Vec<(Quant, VarId)>, next: &mut u32) -> Formula {
     match f {
         Formula::Not(g) => {
             let m = pull(g, !negated, prefix, next);
             Formula::Not(Box::new(m))
         }
-        Formula::And(gs) => Formula::And(
-            gs.iter().map(|g| pull(g, negated, prefix, next)).collect(),
-        ),
-        Formula::Or(gs) => Formula::Or(
-            gs.iter().map(|g| pull(g, negated, prefix, next)).collect(),
-        ),
+        Formula::And(gs) => {
+            Formula::And(gs.iter().map(|g| pull(g, negated, prefix, next)).collect())
+        }
+        Formula::Or(gs) => Formula::Or(gs.iter().map(|g| pull(g, negated, prefix, next)).collect()),
         Formula::Exists(v, g) | Formula::Forall(v, g) => {
             let is_exists = matches!(f, Formula::Exists(..));
             let fresh = VarId(*next);
@@ -237,7 +230,11 @@ mod tests {
         let mut tuple = vec![0u32; k];
         loop {
             let want = eval(&g, &q, &tuple);
-            assert_eq!(eval(&g, &simplified, &tuple), want, "simplify {src} @ {tuple:?}");
+            assert_eq!(
+                eval(&g, &simplified, &tuple),
+                want,
+                "simplify {src} @ {tuple:?}"
+            );
             assert_eq!(eval(&g, &pnf, &tuple), want, "prenex {src} @ {tuple:?}");
             // advance
             let mut i = k;

@@ -11,10 +11,7 @@ fn keywords_are_not_variables() {
     // 'true'/'false' are constants (the parser keeps the boolean shape;
     // simplification is a separate pass).
     let q = parse_query("true || E(x,y)").unwrap();
-    assert_eq!(
-        nd_logic::transform::simplify(&q.formula),
-        Formula::True
-    );
+    assert_eq!(nd_logic::transform::simplify(&q.formula), Formula::True);
     let q = parse_query("false && E(x,y)").unwrap();
     // Parser keeps the shape; smart constructors are not applied during
     // parsing.

@@ -14,7 +14,10 @@ fn all_connectors() -> [ConnectorStrategy; 3] {
     [
         ConnectorStrategy::First,
         ConnectorStrategy::MaxDegree,
-        ConnectorStrategy::SampledAdversary { samples: 4, seed: 9 },
+        ConnectorStrategy::SampledAdversary {
+            samples: 4,
+            seed: 9,
+        },
     ]
 }
 
@@ -22,10 +25,17 @@ fn check_game_invariants(g: &ColoredGraph, res: &GameResult) {
     // The game always terminates with an empty arena and strictly
     // decreasing sizes.
     assert_eq!(res.rounds, res.arena_sizes.len());
-    assert_eq!(res.arena_sizes.last().copied(), Some(0).filter(|_| res.rounds > 0));
+    assert_eq!(
+        res.arena_sizes.last().copied(),
+        Some(0).filter(|_| res.rounds > 0)
+    );
     let mut prev = g.n();
     for &s in &res.arena_sizes {
-        assert!(s < prev, "arena must strictly shrink: {:?}", res.arena_sizes);
+        assert!(
+            s < prev,
+            "arena must strictly shrink: {:?}",
+            res.arena_sizes
+        );
         prev = s;
     }
 }
@@ -58,7 +68,10 @@ fn radius_one_is_easier_than_radius_three() {
     let g = generators::grid(12, 12);
     let r1 = play_game(&g, 1, &BallCenter, &ConnectorStrategy::MaxDegree).rounds;
     let r3 = play_game(&g, 3, &BallCenter, &ConnectorStrategy::MaxDegree).rounds;
-    assert!(r1 <= r3 + 1, "radius monotonicity wildly violated: {r1} vs {r3}");
+    assert!(
+        r1 <= r3 + 1,
+        "radius monotonicity wildly violated: {r1} vs {r3}"
+    );
 }
 
 #[test]
@@ -79,7 +92,10 @@ fn deep_tree_beats_take_center() {
     let g = generators::path(300);
     let bc = play_game(&g, 2, &BallCenter, &ConnectorStrategy::First).rounds;
     let tc = play_game(&g, 2, &TakeCenter, &ConnectorStrategy::First).rounds;
-    assert!(bc <= tc, "ball-center ({bc}) should not lose to take-center ({tc})");
+    assert!(
+        bc <= tc,
+        "ball-center ({bc}) should not lose to take-center ({tc})"
+    );
 }
 
 #[test]

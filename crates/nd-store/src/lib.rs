@@ -25,9 +25,11 @@
 //! `O(d·k·h) = O(n^ε)` backtracking walk, which stays within the update
 //! budget and avoids doubling the space.
 
+mod error;
 mod params;
 mod trie;
 
+pub use error::StoreError;
 pub use params::StoreParams;
 pub use trie::{FnStore, Lookup, LookupPacked};
 

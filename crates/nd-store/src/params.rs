@@ -21,23 +21,52 @@ impl StoreParams {
     /// branching trie, and `h` is the minimal digit count with `d^h ≥ n`
     /// (the paper's `⌈1/ε⌉` satisfies this for `d = ⌈n^ε⌉`; recomputing the
     /// minimum keeps the tree shallow when `ε` is very small).
+    /// Panicking convenience; use [`StoreParams::try_new`] for untrusted
+    /// parameters.
     pub fn new(n: u64, k: usize, epsilon: f64) -> Self {
-        assert!(k >= 1, "arity must be positive");
-        assert!(epsilon > 0.0, "epsilon must be positive");
-        assert!(
-            (k as u32) * (64 - n.max(1).leading_zeros().min(63)) <= 120,
-            "keys must pack into 128 bits (k · log2(n) too large)"
-        );
+        Self::try_new(n, k, epsilon).expect("invalid store parameters")
+    }
+
+    /// Fallible twin of [`StoreParams::new`]: rejects zero arity,
+    /// non-positive or non-finite `ε`, and key spaces too wide to pack into
+    /// 128 bits.
+    pub fn try_new(n: u64, k: usize, epsilon: f64) -> Result<Self, crate::StoreError> {
+        if k < 1 {
+            return Err(crate::StoreError::ZeroArity);
+        }
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(crate::StoreError::BadEpsilon(epsilon));
+        }
+        if (k as u32) * (64 - n.max(1).leading_zeros().min(63)) > 120 {
+            return Err(crate::StoreError::KeyTooWide { n, k });
+        }
         let n_eff = n.max(1);
-        let d = ((n_eff as f64).powf(epsilon).ceil() as u64)
-            .clamp(2, u32::MAX as u64) as u32;
+        let d = ((n_eff as f64).powf(epsilon).ceil() as u64).clamp(2, u32::MAX as u64) as u32;
         let mut h = 1u32;
         let mut pow = d as u128;
         while pow < n_eff as u128 {
             pow *= d as u128;
             h += 1;
         }
-        StoreParams { n, k, d, h }
+        Ok(StoreParams { n, k, d, h })
+    }
+
+    /// Check that `key` has arity `k` with every component in `[0, n)` —
+    /// the precondition of the (debug-asserting) hot-path methods.
+    pub fn validate_key(&self, key: &[u64]) -> Result<(), crate::StoreError> {
+        if key.len() != self.k {
+            return Err(crate::StoreError::WrongArity {
+                expected: self.k,
+                got: key.len(),
+            });
+        }
+        if let Some(&component) = key.iter().find(|&&a| a >= self.n.max(1)) {
+            return Err(crate::StoreError::KeyComponentOutOfRange {
+                component,
+                n: self.n,
+            });
+        }
+        Ok(())
     }
 
     /// Parameters with an explicit degree (used by tests reproducing the
@@ -65,7 +94,11 @@ impl StoreParams {
         debug_assert_eq!(key.len(), self.k);
         out.clear();
         for &a in key {
-            debug_assert!(a < self.n.max(1), "key component {a} out of range [0,{})", self.n);
+            debug_assert!(
+                a < self.n.max(1),
+                "key component {a} out of range [0,{})",
+                self.n
+            );
             let start = out.len();
             let mut a = a;
             for _ in 0..self.h {

@@ -471,7 +471,13 @@ impl FnStore {
 
     /// Algorithm 8, *Fill_Left*: along the path `digs[depth..]` starting at
     /// `node`, set every slot strictly left of the path to `target`.
-    fn fill_left(&mut self, mut node: NodeId, mut depth: usize, digs: &[u32], target: Option<u128>) {
+    fn fill_left(
+        &mut self,
+        mut node: NodeId,
+        mut depth: usize,
+        digs: &[u32],
+        target: Option<u128>,
+    ) {
         let kh = digs.len();
         loop {
             let dig = digs[depth] as usize;
@@ -488,7 +494,13 @@ impl FnStore {
 
     /// Algorithm 7, *Fill_Right*: along the path `digs[depth..]` starting at
     /// `node`, set every slot strictly right of the path to `target`.
-    fn fill_right(&mut self, mut node: NodeId, mut depth: usize, digs: &[u32], target: Option<u128>) {
+    fn fill_right(
+        &mut self,
+        mut node: NodeId,
+        mut depth: usize,
+        digs: &[u32],
+        target: Option<u128>,
+    ) {
         let kh = digs.len();
         let d = self.params.d as usize;
         loop {

@@ -147,7 +147,24 @@ fn arity_mismatch_panics() {
 }
 
 #[test]
-#[should_panic(expected = "pack into 128 bits")]
 fn oversized_keys_rejected() {
+    use nd_store::StoreError;
+    assert!(matches!(
+        StoreParams::try_new(u64::MAX, 4, 0.5),
+        Err(StoreError::KeyTooWide { k: 4, .. })
+    ));
+    assert!(matches!(
+        StoreParams::try_new(10, 0, 0.5),
+        Err(StoreError::ZeroArity)
+    ));
+    assert!(matches!(
+        StoreParams::try_new(10, 2, f64::NAN),
+        Err(StoreError::BadEpsilon(_))
+    ));
+}
+
+#[test]
+#[should_panic(expected = "invalid store parameters")]
+fn oversized_keys_panic_via_convenience() {
     StoreParams::new(u64::MAX, 4, 0.5);
 }

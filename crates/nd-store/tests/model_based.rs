@@ -51,16 +51,16 @@ fn run_model(n: u64, k: usize, eps: f64, ops: Vec<Op>) {
                 match model.get(&key) {
                     Some(&v) => assert_eq!(got, Lookup::Found(v), "hit {key:?}"),
                     None => {
-                        let succ = model
-                            .range(key.clone()..)
-                            .next()
-                            .map(|(k2, _)| k2.clone());
+                        let succ = model.range(key.clone()..).next().map(|(k2, _)| k2.clone());
                         assert_eq!(got, Lookup::Missing(succ), "miss {key:?}");
                     }
                 }
             }
             Op::Pred(key) => {
-                let expected = model.range(..key.clone()).next_back().map(|(k2, _)| k2.clone());
+                let expected = model
+                    .range(..key.clone())
+                    .next_back()
+                    .map(|(k2, _)| k2.clone());
                 assert_eq!(store.predecessor_strict(&key), expected, "pred {key:?}");
             }
             Op::SuccStrict(key) => {
@@ -133,7 +133,11 @@ fn space_stays_proportional_to_domain() {
         for k in keys {
             s.remove(&k);
         }
-        assert_eq!(s.registers(), base, "round {round}: arena did not shrink back");
+        assert_eq!(
+            s.registers(),
+            base,
+            "round {round}: arena did not shrink back"
+        );
         assert!(s.is_empty());
     }
 }

@@ -40,7 +40,10 @@ fn main() {
 
     // Cross-check the counter against full enumeration on a small instance.
     let mut small = generators::grid(40, 40);
-    small.add_color((0..1600).filter(|v| v % 11 == 3).collect(), Some("Blue".into()));
+    small.add_color(
+        (0..1600).filter(|v| v % 11 == 3).collect(),
+        Some("Blue".into()),
+    );
     let sp = PreparedQuery::prepare(&small, &q, &PrepareOpts::default()).unwrap();
     let t0 = Instant::now();
     let (c_fast, c_enum) = (sp.count(), sp.enumerate().count());
@@ -87,12 +90,20 @@ fn main() {
     let stats = prepared.stats();
     println!("\nindex structure of the prepared query:");
     println!("  branches:            {}", stats.branches);
-    println!("  distance oracles:    {} ({} vertices across levels, depth {})",
-        stats.oracles, stats.oracle_vertices, stats.oracle_depth);
-    println!("  cover:               {} bags, Σ|X| = {} ({:.2}·n), degree {}",
-        stats.cover_bags, stats.cover_total_size,
-        stats.cover_total_size as f64 / g.n() as f64, stats.cover_degree);
+    println!(
+        "  distance oracles:    {} ({} vertices across levels, depth {})",
+        stats.oracles, stats.oracle_vertices, stats.oracle_depth
+    );
+    println!(
+        "  cover:               {} bags, Σ|X| = {} ({:.2}·n), degree {}",
+        stats.cover_bags,
+        stats.cover_total_size,
+        stats.cover_total_size as f64 / g.n() as f64,
+        stats.cover_degree
+    );
     println!("  unary lists:         {} entries", stats.unary_list_sizes);
-    println!("  skip-pointer tables: {} entries (truncated: {})",
-        stats.skip_entries, stats.skip_truncated);
+    println!(
+        "  skip-pointer tables: {} entries (truncated: {})",
+        stats.skip_entries, stats.skip_truncated
+    );
 }

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use nowhere_dense::core::{PrepareOpts, PreparedQuery};
+use nowhere_dense::core::{Epsilon, PrepareError, PrepareOpts, PreparedQuery};
 use nowhere_dense::graph::generators;
 use nowhere_dense::logic::parse_query;
 
@@ -26,9 +26,32 @@ fn main() {
     let q = parse_query("dist(x,y) > 2 && Blue(y)").expect("valid query");
     println!("query: {q}");
 
-    // Pseudo-linear preprocessing (Theorem 2.3).
+    // Pseudo-linear preprocessing (Theorem 2.3). Every failure mode is a
+    // typed error — match instead of crashing.
+    let epsilon = Epsilon::try_new(0.5).expect("0.5 is a valid accuracy");
+    let opts = PrepareOpts {
+        epsilon: epsilon.get(),
+        ..PrepareOpts::default()
+    };
     let t0 = std::time::Instant::now();
-    let prepared = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).expect("in fragment");
+    let prepared = match PreparedQuery::prepare(&g, &q, &opts) {
+        Ok(p) => p,
+        Err(PrepareError::UnsupportedFragment(reason)) => {
+            eprintln!("query outside the fragment: {reason}");
+            return;
+        }
+        Err(PrepareError::BudgetExceeded { exceeded, partial }) => {
+            eprintln!(
+                "budget hit in {}: got as far as {partial:?}",
+                exceeded.phase
+            );
+            return;
+        }
+        Err(PrepareError::InvalidInput(bad)) => {
+            eprintln!("invalid input: {bad}");
+            return;
+        }
+    };
     println!(
         "prepared in {:?} using engine {:?}",
         t0.elapsed(),

@@ -9,10 +9,10 @@
 //! cargo run --release --example relational_db
 //! ```
 
+use nowhere_dense::core::{PrepareOpts, PreparedQuery};
 use nowhere_dense::graph::relational::{adjacency_graph, RelationalDb};
 use nowhere_dense::logic::relational::rewrite_to_graph;
 use nowhere_dense::logic::{eval::materialize_db, parse_query};
-use nowhere_dense::core::{PrepareOpts, PreparedQuery};
 use std::time::Instant;
 
 fn main() {
@@ -23,7 +23,9 @@ fn main() {
     let mut cites = Vec::new();
     let mut state = 0xabcdef1234u64;
     let mut rnd = |m: u32| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) % m.max(1) as u64) as u32
     };
     for p in 1..papers {
@@ -31,7 +33,10 @@ fn main() {
             cites.push(vec![p, rnd(p)]);
         }
     }
-    let db_theory: Vec<Vec<u32>> = (0..papers).filter(|p| p % 7 == 0).map(|p| vec![p]).collect();
+    let db_theory: Vec<Vec<u32>> = (0..papers)
+        .filter(|p| p % 7 == 0)
+        .map(|p| vec![p])
+        .collect();
 
     let mut db = RelationalDb::new(papers as usize);
     db.add_relation("Cites", 2, cites);

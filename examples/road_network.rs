@@ -17,7 +17,11 @@ fn main() {
     let (w, h) = (300, 300);
     let g = generators::perturbed_grid(w, h, 4_000, 7);
     let r = 6;
-    println!("road network: {} junctions, {} segments; radius r = {r}", g.n(), g.m());
+    println!(
+        "road network: {} junctions, {} segments; radius r = {r}",
+        g.n(),
+        g.m()
+    );
 
     let t0 = Instant::now();
     let oracle = DistOracle::build(&g, r, &DistOracleOpts::default());

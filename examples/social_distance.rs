@@ -45,9 +45,18 @@ fn main() {
     .expect("valid query");
     println!("query: {q}");
 
+    let epsilon = nowhere_dense::core::Epsilon::try_new(0.5).expect("valid accuracy");
+    let opts = PrepareOpts {
+        epsilon: epsilon.get(),
+        ..PrepareOpts::default()
+    };
     let t0 = Instant::now();
-    let prepared = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).expect("in fragment");
-    println!("preprocessing: {:?} ({:?})", t0.elapsed(), prepared.engine_kind());
+    let prepared = PreparedQuery::prepare(&g, &q, &opts).expect("in fragment");
+    println!(
+        "preprocessing: {:?} ({:?})",
+        t0.elapsed(),
+        prepared.engine_kind()
+    );
 
     // Stream the first results and measure the maximum delay.
     let t0 = Instant::now();
@@ -59,7 +68,10 @@ fn main() {
         max_delay = max_delay.max(now - last);
         last = now;
         if shown < 5 {
-            println!("  match: sellers ({}, {}) ← promoter {}", sol[0], sol[1], sol[2]);
+            println!(
+                "  match: sellers ({}, {}) ← promoter {}",
+                sol[0], sol[1], sol[2]
+            );
             shown += 1;
         }
     }
@@ -72,7 +84,10 @@ fn main() {
     // Jump into the middle of the answer space (Theorem 2.3).
     let t0 = Instant::now();
     let jump = prepared.next_solution(&[9700, 0, 0]);
-    println!("next solution ≥ (9700, 0, 0): {jump:?} in {:?}", t0.elapsed());
+    println!(
+        "next solution ≥ (9700, 0, 0): {jump:?} in {:?}",
+        t0.elapsed()
+    );
 
     // Spot-test membership (Corollary 2.4).
     if let Some(sol) = jump {

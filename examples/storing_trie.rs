@@ -47,7 +47,10 @@ fn main() {
         store.registers()
     );
     println!("  lookup(19) -> {:?}", store.lookup(&[19]));
-    println!("  lookup( 6) -> {:?} (cache rewritten from 19 to 24)", store.lookup(&[6]));
+    println!(
+        "  lookup( 6) -> {:?} (cache rewritten from 19 to 24)",
+        store.lookup(&[6])
+    );
 
     println!("\nRegister layout after the removal:");
     for line in store.registers_dump() {

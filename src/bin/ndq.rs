@@ -13,7 +13,7 @@
 //!     --query "dist(x,y) > 4 && Blue(y)" --test 17,3009 --next 17,0 --stats
 //! ```
 
-use nowhere_dense::core::{PrepareOpts, PreparedQuery};
+use nowhere_dense::core::{Budget, Epsilon, PrepareOpts, PreparedQuery};
 use nowhere_dense::graph::{generators, io, ColoredGraph, Vertex};
 use nowhere_dense::logic::parse_query;
 use std::process::ExitCode;
@@ -31,6 +31,7 @@ struct Args {
     epsilon: f64,
     stats: bool,
     no_fallback: bool,
+    budget_nodes: Option<u64>,
 }
 
 const USAGE: &str = "\
@@ -47,6 +48,7 @@ USAGE:
       [--epsilon F]                      accuracy parameter (default 0.5)
       [--stats]                          print index statistics
       [--no-fallback]                    error on non-fragment queries
+      [--budget-nodes N]                 cap preprocessing node expansions
 
 GRAPH SPECS:
   grid:WxH           W×H grid
@@ -69,13 +71,11 @@ fn parse_args() -> Result<Args, String> {
         epsilon: 0.5,
         stats: false,
         no_fallback: false,
+        budget_nodes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
-        let mut val = |what: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {what}"))
-        };
+        let mut val = |what: &str| it.next().ok_or_else(|| format!("missing value for {what}"));
         match a.as_str() {
             "--graph" => args.graph_spec = Some(val("--graph")?),
             "--graph-file" => args.graph_file = Some(val("--graph-file")?),
@@ -98,6 +98,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stats" => args.stats = true,
             "--no-fallback" => args.no_fallback = true,
+            "--budget-nodes" => {
+                args.budget_nodes = Some(
+                    val("--budget-nodes")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget-nodes: {e}"))?,
+                )
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -146,14 +153,14 @@ fn add_color(g: &mut ColoredGraph, spec: &str) -> Result<(), String> {
     let [name, density, seed] = parts.as_slice() else {
         return Err(format!("expected NAME:DENSITY:SEED, got {spec:?}"));
     };
-    let density: f64 = density
-        .parse()
-        .map_err(|e| format!("bad density: {e}"))?;
+    let density: f64 = density.parse().map_err(|e| format!("bad density: {e}"))?;
     let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
     let threshold = (density.clamp(0.0, 1.0) * u32::MAX as f64) as u32;
     let members: Vec<Vertex> = (0..g.n() as Vertex)
         .filter(|v| {
-            let mut z = (*v as u64).wrapping_add(seed).wrapping_mul(0x9e3779b97f4a7c15);
+            let mut z = (*v as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9e3779b97f4a7c15);
             z ^= z >> 31;
             (z as u32) < threshold
         })
@@ -166,7 +173,10 @@ fn parse_tuple(s: &str, arity: usize, n: usize) -> Result<Vec<Vertex>, String> {
     let t: Result<Vec<Vertex>, _> = s.split(',').map(|p| p.trim().parse()).collect();
     let t = t.map_err(|e| format!("bad tuple {s:?}: {e}"))?;
     if t.len() != arity {
-        return Err(format!("tuple {s:?} has arity {}, query has {arity}", t.len()));
+        return Err(format!(
+            "tuple {s:?} has arity {}, query has {arity}",
+            t.len()
+        ));
     }
     if let Some(&v) = t.iter().find(|&&v| (v as usize) >= n) {
         return Err(format!("vertex {v} out of range [0,{n})"));
@@ -187,15 +197,26 @@ fn run() -> Result<(), String> {
     for c in &args.colors {
         add_color(&mut g, c)?;
     }
-    eprintln!("graph: {} vertices, {} edges, {} colors", g.n(), g.m(), g.num_colors());
+    eprintln!(
+        "graph: {} vertices, {} edges, {} colors",
+        g.n(),
+        g.m(),
+        g.num_colors()
+    );
 
     let query_src = args.query.ok_or("missing --query (see --help)")?;
     let q = parse_query(&query_src).map_err(|e| e.to_string())?;
     eprintln!("query: {q}");
 
+    // Validate ε up front: a typed error here beats a panic mid-preparation.
+    let epsilon = Epsilon::try_new(args.epsilon).map_err(|e| e.to_string())?;
     let opts = PrepareOpts {
-        epsilon: args.epsilon,
+        epsilon: epsilon.get(),
         allow_fallback: !args.no_fallback,
+        budget: match args.budget_nodes {
+            Some(cap) => Budget::UNLIMITED.with_node_expansions(cap),
+            None => Budget::UNLIMITED,
+        },
         ..PrepareOpts::default()
     };
     let t0 = Instant::now();

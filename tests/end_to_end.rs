@@ -7,13 +7,17 @@ use nowhere_dense::core::{EngineKind, PrepareOpts, PreparedQuery};
 use nowhere_dense::graph::relational::{adjacency_graph, RelationalDb};
 use nowhere_dense::graph::{generators, ColoredGraph, Vertex};
 use nowhere_dense::logic::eval::materialize_db;
-use nowhere_dense::logic::relational::rewrite_to_graph;
 use nowhere_dense::logic::parse_query;
+use nowhere_dense::logic::relational::rewrite_to_graph;
 
 fn colored(mut g: ColoredGraph, seed: u64) -> ColoredGraph {
     let n = g.n() as Vertex;
-    let blue: Vec<Vertex> = (0..n).filter(|v| (v.wrapping_mul(2654435761) ^ seed as u32).is_multiple_of(3)).collect();
-    let red: Vec<Vertex> = (0..n).filter(|v| (v.wrapping_mul(40503) ^ seed as u32) % 5 == 1).collect();
+    let blue: Vec<Vertex> = (0..n)
+        .filter(|v| (v.wrapping_mul(2654435761) ^ seed as u32).is_multiple_of(3))
+        .collect();
+    let red: Vec<Vertex> = (0..n)
+        .filter(|v| (v.wrapping_mul(40503) ^ seed as u32) % 5 == 1)
+        .collect();
     g.add_color(blue, Some("Blue".into()));
     g.add_color(red, Some("Red".into()));
     g
@@ -23,9 +27,9 @@ fn colored(mut g: ColoredGraph, seed: u64) -> ColoredGraph {
 fn paper_examples_pipeline() {
     let g = colored(generators::grid(7, 7), 3);
     for src in [
-        "dist(x,y) <= 2",                                   // Example 1-A
-        "dist(x,y) > 2 && Blue(y)",                         // Example 2
-        "dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)",        // Example 2, arity 3
+        "dist(x,y) <= 2",                            // Example 1-A
+        "dist(x,y) > 2 && Blue(y)",                  // Example 2
+        "dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)", // Example 2, arity 3
     ] {
         let q = parse_query(src).unwrap();
         let prepared = PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).unwrap();
@@ -41,7 +45,11 @@ fn paper_examples_pipeline() {
             let probe: Vec<Vertex> = (0..k)
                 .map(|i| probe_seed.wrapping_mul(31 + i as u32 * 7) % g.n() as u32)
                 .collect();
-            assert_eq!(prepared.test(&probe), tester.test(&probe), "{src} @ {probe:?}");
+            assert_eq!(
+                prepared.test(&probe),
+                tester.test(&probe),
+                "{src} @ {probe:?}"
+            );
         }
     }
 }
@@ -77,7 +85,11 @@ fn relational_reduction_end_to_end() {
         }
     }
     db.add_relation("R", 2, tuples);
-    db.add_relation("S", 1, (0..40u32).filter(|p| p % 5 == 0).map(|p| vec![p]).collect());
+    db.add_relation(
+        "S",
+        1,
+        (0..40u32).filter(|p| p % 5 == 0).map(|p| vec![p]).collect(),
+    );
 
     for src in [
         "R(x, y)",

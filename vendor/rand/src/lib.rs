@@ -1,0 +1,171 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace vendors this shim because builds must work without
+//! network access. It implements exactly the surface the repo uses —
+//! `StdRng`, `SeedableRng::seed_from_u64` and the `RngExt` sampling
+//! methods — on top of a small, deterministic xoshiro256++ generator.
+//! Streams are stable across runs and platforms (tests and generators
+//! rely on seeds for reproducibility) but make no attempt to match the
+//! upstream crate's streams.
+
+pub mod rngs {
+    /// Deterministic 256-bit xoshiro256++ generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding interface (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from one `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        rngs::StdRng::from_state(s)
+    }
+}
+
+/// Types samplable uniformly from a half-open range.
+pub trait UniformSample: Copy + PartialOrd {
+    fn sample(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample(rng: &mut rngs::StdRng, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Debiased multiply-shift (Lemire); span is < 2^64 here.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * span;
+                let mut l = m as u64;
+                if (l as u128) < span {
+                    let t = span.wrapping_neg() % span;
+                    while (l as u128) < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * span;
+                        l = m as u64;
+                    }
+                }
+                (lo as i128 + (m >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Sampling methods (subset of `rand::Rng`, under its 0.10-era name).
+pub trait RngExt {
+    /// Uniform sample from `range` (which must be non-empty).
+    fn random_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T;
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool;
+    /// A uniform `u64`.
+    fn random_u64(&mut self) -> u64;
+}
+
+impl RngExt for rngs::StdRng {
+    #[inline]
+    fn random_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        T::sample(self, range.start, range.end)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random bits → uniform in [0, 1).
+        let bits = self.next_u64() >> 11;
+        (bits as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    #[inline]
+    fn random_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0u32..1000), b.random_range(0u32..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let sa: Vec<u64> = (0..16).map(|_| a.random_u64()).collect();
+        let sc: Vec<u64> = (0..16).map(|_| c.random_u64()).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let v = r.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.random_range(-5i32..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_probability_rough() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(!r.random_bool(0.0));
+        assert!(r.random_bool(1.0));
+    }
+}
