@@ -1,10 +1,11 @@
 //! The experiment harness: one sub-command per claim of the paper
-//! (DESIGN.md §5, results recorded in EXPERIMENTS.md).
+//! (DESIGN.md §6, results recorded in EXPERIMENTS.md).
 //!
 //! ```sh
 //! cargo run --release -p nd-bench --bin experiments            # all
 //! cargo run --release -p nd-bench --bin experiments -- e1 e4   # subset
 //! cargo run --release -p nd-bench --bin experiments -- --quick # smaller sweeps
+//! cargo run --release -p nd-bench --bin experiments -- --json  # + @json lines
 //! ```
 
 use nd_baseline::{BfsDistanceBaseline, NaiveEnumerator, NaiveTester};
@@ -22,17 +23,20 @@ use std::time::Instant;
 
 struct Config {
     quick: bool,
+    /// Mirror table rows as `@json` lines (see [`nd_bench::emit_json`]).
+    json: bool,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|a| a.to_lowercase())
         .collect();
-    let cfg = Config { quick };
+    let cfg = Config { quick, json };
     let all = selected.is_empty();
     let want = |name: &str| all || selected.iter().any(|s| s == name);
 
@@ -86,6 +90,9 @@ fn main() {
     }
     if want("a4") {
         a4_budget_ladder(&cfg);
+    }
+    if want("a5") {
+        a5_serving(&cfg);
     }
 }
 
@@ -757,10 +764,131 @@ fn a4_budget_ladder(cfg: &Config) {
                 } else {
                     format!("{cap}")
                 },
-                outcome,
+                outcome.clone(),
                 format!("{spent}"),
                 fmt_dur(prep),
             ]);
+            emit_json(cfg.json, "a4", |o| {
+                o.field_str("family", f.name())
+                    .field_u64("n", g.n() as u64)
+                    .field_u64("node_cap", cap)
+                    .field_str("outcome", &outcome)
+                    .field_u64("nodes_spent", spent)
+                    .field_f64("prep_s", prep.as_secs_f64());
+            });
+        }
+    }
+}
+
+/// A5 — serving throughput (nd-serve): closed-loop clients submit batches
+/// of `test` probes against one shared snapshot while the worker count is
+/// swept. Validates that the prepare-once/probe-many serving runtime keeps
+/// the paper's constant-time probes constant *under concurrency* — and
+/// shows where worker scaling lands on the current host (on a single-core
+/// host multi-worker rows can only tie the single-worker row).
+fn a5_serving(cfg: &Config) {
+    use nd_graph::Vertex;
+    use nd_serve::{Request, ServeOpts, ServerPool, Snapshot};
+    use std::sync::Arc;
+
+    println!("\n[A5] serving throughput: worker scaling over one shared snapshot");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("(host cores: {cores}; closed loop, 4 clients x batches of 256 test probes)");
+    let t = Table::new(
+        &["family", "n", "workers", "req/s", "p50 ns", "p99 ns"],
+        &[7, 7, 8, 12, 9, 9],
+    );
+    let n = if cfg.quick { 1_000 } else { 4_000 };
+    let total_requests: u64 = if cfg.quick { 40_000 } else { 200_000 };
+    let (clients, batch) = (4usize, 256usize);
+    let q = parse_query(E5_QUERY).unwrap();
+    for &f in &[GraphFamily::Grid, GraphFamily::RandomTree] {
+        let g = f.build_colored(n, 12);
+        let gn = g.n();
+        let snap =
+            Snapshot::build_owned(g, &q, &PrepareOpts::default()).expect("a5 snapshot build");
+        for workers in [1usize, 2, 4] {
+            let pool = Arc::new(ServerPool::start(
+                snap.clone(),
+                &ServeOpts {
+                    workers,
+                    ..Default::default()
+                },
+            ));
+            // Pre-generate the batches so the timed section measures the
+            // serving runtime, not the load generator.
+            let per_client = total_requests / clients as u64;
+            let all_batches: Vec<Vec<Vec<Request>>> = (0..clients)
+                .map(|c| {
+                    let seed = 0xa5 + c as u64;
+                    let mut made = 0u64;
+                    let mut batches = Vec::new();
+                    while made < per_client {
+                        let b = batch.min((per_client - made) as usize);
+                        batches.push(
+                            (0..b)
+                                .map(|i| Request::Test {
+                                    tuple: vec![
+                                        (mix(made + i as u64, seed) % gn as u64) as Vertex,
+                                        (mix(made + i as u64, seed ^ 0xffff) % gn as u64) as Vertex,
+                                    ],
+                                })
+                                .collect(),
+                        );
+                        made += b as u64;
+                    }
+                    batches
+                })
+                .collect();
+            let (completed, elapsed) = time_it(|| {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = all_batches
+                        .into_iter()
+                        .map(|batches| {
+                            let pool = Arc::clone(&pool);
+                            s.spawn(move || {
+                                let mut ok = 0u64;
+                                for reqs in batches {
+                                    if let Ok(h) = pool.submit(reqs) {
+                                        ok += h.wait().iter().filter(|r| r.is_ok()).count() as u64;
+                                    }
+                                }
+                                ok
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+                })
+            });
+            assert_eq!(completed, per_client * clients as u64, "a5 lost requests");
+            let rps = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+            let m = pool.metrics_snapshot();
+            let lat = &m.kind(nd_serve::RequestKind::Test).latency;
+            let fmt_q = |q: Option<u64>| q.map_or_else(|| "-".into(), |v| v.to_string());
+            t.row(&[
+                f.name().to_string(),
+                format!("{gn}"),
+                format!("{workers}"),
+                format!("{rps:.0}"),
+                fmt_q(lat.quantile_ns(0.50)),
+                fmt_q(lat.quantile_ns(0.99)),
+            ]);
+            emit_json(cfg.json, "a5", |o| {
+                o.field_str("family", f.name())
+                    .field_u64("n", gn as u64)
+                    .field_u64("host_cores", cores as u64)
+                    .field_u64("workers", workers as u64)
+                    .field_u64("completed", completed)
+                    .field_f64("throughput_rps", rps);
+                match lat.quantile_ns(0.50) {
+                    Some(v) => o.field_u64("p50_ns", v),
+                    None => o.field_null("p50_ns"),
+                };
+                match lat.quantile_ns(0.99) {
+                    Some(v) => o.field_u64("p99_ns", v),
+                    None => o.field_null("p99_ns"),
+                };
+            });
         }
     }
 }

@@ -194,6 +194,25 @@ impl Table {
     }
 }
 
+/// Machine-readable result emission for the experiment harness. When the
+/// harness runs with `--json`, experiments mirror their table rows as
+/// `@json {"experiment":...}` lines built with the workspace's serde-free
+/// writer ([`nd_graph::json`]), so scripts scrape results by grepping
+/// `^@json ` instead of parsing fixed-width tables.
+pub fn emit_json(
+    enabled: bool,
+    experiment: &str,
+    build: impl FnOnce(&mut nd_graph::json::JsonObject),
+) {
+    if !enabled {
+        return;
+    }
+    let mut o = nd_graph::json::JsonObject::new();
+    o.field_str("experiment", experiment);
+    build(&mut o);
+    println!("@json {}", o.finish());
+}
+
 /// Human-readable duration.
 pub fn fmt_dur(d: Duration) -> String {
     if d.as_secs() >= 1 {

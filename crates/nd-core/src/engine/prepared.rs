@@ -45,7 +45,9 @@ use nd_graph::{ColoredGraph, Vertex};
 use nd_logic::ast::{ColorRef, Formula, Query};
 use nd_logic::eval::eval;
 use nd_logic::locality::evaluate_unary;
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Preparation options.
 #[derive(Clone, Debug)]
@@ -143,6 +145,50 @@ pub struct PrepareStats {
     pub naive_solutions: Option<usize>,
 }
 
+impl DegradationRung {
+    /// Stable machine-readable name (used in JSON and CLI output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradationRung::Indexed => "indexed",
+            DegradationRung::CoarsenedEpsilon => "coarsened_epsilon",
+            DegradationRung::NaiveFallback => "naive_fallback",
+        }
+    }
+}
+
+impl PrepareStats {
+    /// Serde-free JSON rendering (see `nd_graph::json`): one flat object,
+    /// stable keys, suitable for bench artifacts and the serving metrics
+    /// endpoint.
+    pub fn to_json(&self) -> String {
+        use nd_graph::json::JsonObject;
+        let mut o = JsonObject::new();
+        o.field_str("rung", self.rung.name());
+        match &self.degradation_reason {
+            Some(r) => o.field_str("degradation_reason", &format!("{r:?}")),
+            None => o.field_null("degradation_reason"),
+        };
+        o.field_u64("budget_nodes_spent", self.budget_nodes_spent)
+            .field_u64("budget_ms_spent", self.budget_ms_spent)
+            .field_u64("branches", self.branches as u64)
+            .field_u64("active_branches", self.active_branches as u64)
+            .field_u64("oracles", self.oracles as u64)
+            .field_u64("oracle_vertices", self.oracle_vertices as u64)
+            .field_u64("oracle_depth", self.oracle_depth as u64)
+            .field_u64("cover_bags", self.cover_bags as u64)
+            .field_u64("cover_total_size", self.cover_total_size as u64)
+            .field_u64("cover_degree", self.cover_degree as u64)
+            .field_u64("unary_list_sizes", self.unary_list_sizes as u64)
+            .field_u64("skip_entries", self.skip_entries as u64)
+            .field_bool("skip_truncated", self.skip_truncated);
+        match self.naive_solutions {
+            Some(c) => o.field_u64("naive_solutions", c as u64),
+            None => o.field_null("naive_solutions"),
+        };
+        o.finish()
+    }
+}
+
 /// Which engine backs a prepared query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EngineKind {
@@ -153,22 +199,33 @@ pub enum EngineKind {
 }
 
 /// A query prepared against a fixed graph (Theorem 2.3's data structure).
-pub struct PreparedQuery<'g> {
-    g: &'g ColoredGraph,
+///
+/// Generic over how the graph is owned: `G` is anything that can lend a
+/// [`ColoredGraph`] — a plain `&ColoredGraph` for the classic borrowed
+/// use, or an [`Arc<ColoredGraph>`] for a self-contained `Send + Sync`
+/// value that serving runtimes (`nd-serve`) can share across threads.
+/// Every index structure inside is owned, so the only question is who
+/// owns the graph itself.
+pub struct PreparedQuery<G: Borrow<ColoredGraph>> {
+    g: G,
     arity: usize,
-    engine: EngineImpl<'g>,
+    engine: EngineImpl,
     rung: DegradationRung,
     degradation_reason: Option<DegradationReason>,
     budget_nodes_spent: u64,
     budget_ms_spent: u64,
 }
 
-enum EngineImpl<'g> {
-    Indexed(Vec<BranchEngine<'g>>),
+/// A [`PreparedQuery`] that co-owns its graph through an [`Arc`]: fully
+/// self-contained, `Send + Sync`, cheap to hand to worker threads.
+pub type SharedPreparedQuery = PreparedQuery<Arc<ColoredGraph>>;
+
+enum EngineImpl {
+    Indexed(Vec<BranchEngine>),
     Naive(NaiveEngine),
 }
 
-impl std::fmt::Debug for PreparedQuery<'_> {
+impl<G: Borrow<ColoredGraph>> std::fmt::Debug for PreparedQuery<G> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedQuery")
             .field("arity", &self.arity)
@@ -203,7 +260,7 @@ fn validate_colors(g: &ColoredGraph, f: &Formula) -> Result<(), PrepareError> {
     Ok(())
 }
 
-impl<'g> PreparedQuery<'g> {
+impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
     /// Preprocess `q` over `g`. Pseudo-linear for fragment queries;
     /// `O(n^k)`-ish for fallback queries.
     ///
@@ -224,17 +281,14 @@ impl<'g> PreparedQuery<'g> {
     /// atoms never fall back (naive evaluation cannot interpret them over
     /// a colored graph): they always yield
     /// [`PrepareError::UnsupportedFragment`].
-    pub fn prepare(
-        g: &'g ColoredGraph,
-        q: &Query,
-        opts: &PrepareOpts,
-    ) -> Result<PreparedQuery<'g>, PrepareError> {
+    pub fn prepare(g: G, q: &Query, opts: &PrepareOpts) -> Result<PreparedQuery<G>, PrepareError> {
         if !(opts.epsilon.is_finite() && opts.epsilon > 0.0) {
             return Err(PrepareError::InvalidInput(InvalidInput::BadEpsilon(
                 opts.epsilon,
             )));
         }
-        validate_colors(g, &q.formula)?;
+        let gr = g.borrow();
+        validate_colors(gr, &q.formula)?;
 
         let branches = match compile(q) {
             Ok(branches) => branches,
@@ -243,7 +297,7 @@ impl<'g> PreparedQuery<'g> {
             }
             Err(reason) if opts.allow_fallback => {
                 let tracker = opts.budget.start();
-                return match NaiveEngine::try_prepare(g, q, &tracker) {
+                return match NaiveEngine::try_prepare(gr, q, &tracker) {
                     Ok(n) => Ok(Self::from_naive(
                         g,
                         q.arity(),
@@ -259,16 +313,16 @@ impl<'g> PreparedQuery<'g> {
 
         // Rung 1: indexed at the requested ε.
         let tracker = opts.budget.start();
-        let exceeded = match Self::try_indexed(g, &branches, opts, opts.epsilon, &tracker) {
+        let exceeded = match Self::try_indexed(gr, &branches, opts, opts.epsilon, &tracker) {
             Ok(engines) => {
                 return Ok(PreparedQuery {
-                    g,
                     arity: q.arity(),
                     engine: EngineImpl::Indexed(engines),
                     rung: DegradationRung::Indexed,
                     degradation_reason: None,
                     budget_nodes_spent: tracker.nodes_spent(),
                     budget_ms_spent: tracker.elapsed().as_millis() as u64,
+                    g,
                 })
             }
             Err(e) => e,
@@ -279,15 +333,15 @@ impl<'g> PreparedQuery<'g> {
         let coarse = (opts.epsilon * 2.0).min(1.0);
         if opts.allow_fallback && coarse > opts.epsilon {
             let tracker2 = opts.budget.start();
-            if let Ok(engines) = Self::try_indexed(g, &branches, opts, coarse, &tracker2) {
+            if let Ok(engines) = Self::try_indexed(gr, &branches, opts, coarse, &tracker2) {
                 return Ok(PreparedQuery {
-                    g,
                     arity: q.arity(),
                     engine: EngineImpl::Indexed(engines),
                     rung: DegradationRung::CoarsenedEpsilon,
                     degradation_reason: Some(DegradationReason::BudgetExceeded(exceeded)),
                     budget_nodes_spent: tracker2.nodes_spent(),
                     budget_ms_spent: tracker2.elapsed().as_millis() as u64,
+                    g,
                 });
             }
         }
@@ -295,7 +349,7 @@ impl<'g> PreparedQuery<'g> {
         // Rung 3: budget-checked naive materialization.
         if opts.allow_fallback {
             let tracker3 = opts.budget.start();
-            return match NaiveEngine::try_prepare(g, q, &tracker3) {
+            return match NaiveEngine::try_prepare(gr, q, &tracker3) {
                 Ok(n) => Ok(Self::from_naive(
                     g,
                     q.arity(),
@@ -310,12 +364,12 @@ impl<'g> PreparedQuery<'g> {
     }
 
     fn try_indexed(
-        g: &'g ColoredGraph,
+        g: &ColoredGraph,
         branches: &[FragmentQuery],
         opts: &PrepareOpts,
         epsilon: f64,
         tracker: &BudgetTracker,
-    ) -> Result<Vec<BranchEngine<'g>>, BudgetExceeded> {
+    ) -> Result<Vec<BranchEngine>, BudgetExceeded> {
         branches
             .iter()
             .map(|fq| BranchEngine::try_prepare(g, fq.clone(), opts, epsilon, tracker))
@@ -323,12 +377,12 @@ impl<'g> PreparedQuery<'g> {
     }
 
     fn from_naive(
-        g: &'g ColoredGraph,
+        g: G,
         arity: usize,
         n: NaiveEngine,
         reason: DegradationReason,
         tracker: &BudgetTracker,
-    ) -> PreparedQuery<'g> {
+    ) -> PreparedQuery<G> {
         PreparedQuery {
             g,
             arity,
@@ -367,6 +421,11 @@ impl<'g> PreparedQuery<'g> {
 
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// The graph this query was prepared against.
+    pub fn graph(&self) -> &ColoredGraph {
+        self.g.borrow()
     }
 
     /// Sizes of the preprocessed structures (index observability; used by
@@ -412,17 +471,18 @@ impl<'g> PreparedQuery<'g> {
     /// **Corollary 2.4**: is `tuple` a solution? Constant time. Rejects
     /// mis-sized or out-of-range probes with a typed error.
     pub fn try_test(&self, tuple: &[Vertex]) -> Result<bool, QueryError> {
+        let g = self.g.borrow();
         if tuple.len() != self.arity {
             return Err(QueryError::ArityMismatch {
                 expected: self.arity,
                 got: tuple.len(),
             });
         }
-        if let Some(&v) = tuple.iter().find(|&&v| (v as usize) >= self.g.n()) {
-            return Err(QueryError::VertexOutOfRange { v, n: self.g.n() });
+        if let Some(&v) = tuple.iter().find(|&&v| (v as usize) >= g.n()) {
+            return Err(QueryError::VertexOutOfRange { v, n: g.n() });
         }
         Ok(match &self.engine {
-            EngineImpl::Indexed(bs) => bs.iter().any(|b| b.test_tuple(tuple)),
+            EngineImpl::Indexed(bs) => bs.iter().any(|b| b.test_tuple(g, tuple)),
             EngineImpl::Naive(n) => n.test(tuple),
         })
     }
@@ -444,8 +504,9 @@ impl<'g> PreparedQuery<'g> {
                 got: from.len(),
             });
         }
+        let g = self.g.borrow();
         Ok(match &self.engine {
-            EngineImpl::Indexed(bs) => bs.iter().filter_map(|b| b.next_solution(from)).min(),
+            EngineImpl::Indexed(bs) => bs.iter().filter_map(|b| b.next_solution(g, from)).min(),
             EngineImpl::Naive(n) => n.next_solution(from),
         })
     }
@@ -457,8 +518,8 @@ impl<'g> PreparedQuery<'g> {
 
     /// **Corollary 2.5**: enumerate `q(G)` in increasing lexicographic
     /// order with constant delay.
-    pub fn enumerate(&self) -> Enumerate<'_, 'g> {
-        let first = if self.g.n() == 0 && self.arity > 0 {
+    pub fn enumerate(&self) -> Enumerate<'_, G> {
+        let first = if self.g.borrow().n() == 0 && self.arity > 0 {
             None
         } else {
             self.next_solution(&vec![0; self.arity])
@@ -469,6 +530,36 @@ impl<'g> PreparedQuery<'g> {
         }
     }
 
+    /// Enumerate `q(G)` starting from the lexicographically smallest
+    /// solution `≥ from`. `enumerate_from(&[0; k])` is equivalent to
+    /// [`PreparedQuery::enumerate`]. Rejects a mis-sized probe with a
+    /// typed error.
+    pub fn enumerate_from(&self, from: &[Vertex]) -> Result<Enumerate<'_, G>, QueryError> {
+        let first = if self.g.borrow().n() == 0 && self.arity > 0 {
+            // Still validate the probe shape for a consistent contract.
+            if from.len() != self.arity {
+                return Err(QueryError::ArityMismatch {
+                    expected: self.arity,
+                    got: from.len(),
+                });
+            }
+            None
+        } else {
+            self.try_next_solution(from)?
+        };
+        Ok(Enumerate {
+            pq: self,
+            next: first,
+        })
+    }
+
+    /// One page of enumeration: up to `limit` solutions `≥ from`, in
+    /// lexicographic order. The serving layer's unit of work — a caller
+    /// can resume with `lex_increment(last_of_page)` as the next `from`.
+    pub fn page(&self, from: &[Vertex], limit: usize) -> Result<Vec<Vec<Vertex>>, QueryError> {
+        Ok(self.enumerate_from(from)?.take(limit).collect())
+    }
+
     /// Count all solutions. Pseudo-linear for single-branch fragment
     /// queries whose constraint components have ≤ 2 positions (the
     /// Grohe–Schweikardt counting claim for our fragment — see
@@ -476,7 +567,7 @@ impl<'g> PreparedQuery<'g> {
     pub fn count(&self) -> usize {
         if let EngineImpl::Indexed(bs) = &self.engine {
             if let [branch] = bs.as_slice() {
-                if let Some(c) = branch.fast_count() {
+                if let Some(c) = branch.fast_count(self.g.borrow()) {
                     return c as usize;
                 }
             }
@@ -487,8 +578,11 @@ impl<'g> PreparedQuery<'g> {
         self.enumerate().count()
     }
 
-    fn lex_increment(&self, t: &[Vertex]) -> Option<Vec<Vertex>> {
-        let n = self.g.n() as Vertex;
+    /// The lexicographic successor tuple over `[0, n)^k`, or `None` at the
+    /// top. Public so paging clients (`nd-serve`) can resume enumeration
+    /// after the last solution of a page.
+    pub fn lex_increment(&self, t: &[Vertex]) -> Option<Vec<Vertex>> {
+        let n = self.g.borrow().n() as Vertex;
         let mut out = t.to_vec();
         for i in (0..out.len()).rev() {
             if out[i] + 1 < n {
@@ -502,12 +596,18 @@ impl<'g> PreparedQuery<'g> {
 }
 
 /// Streaming enumeration in lexicographic order.
-pub struct Enumerate<'a, 'g> {
-    pq: &'a PreparedQuery<'g>,
+///
+/// A well-behaved std iterator: [`Iterator::size_hint`] is exact whenever
+/// the remaining count is knowable in constant time (exhausted, or a
+/// Boolean query), and the iterator is [fused](std::iter::FusedIterator)
+/// — once `next` returns `None` it returns `None` forever, so it composes
+/// with `chain`/`zip`/`take_while` without a defensive [`Iterator::fuse`].
+pub struct Enumerate<'a, G: Borrow<ColoredGraph>> {
+    pq: &'a PreparedQuery<G>,
     next: Option<Vec<Vertex>>,
 }
 
-impl Iterator for Enumerate<'_, '_> {
+impl<G: Borrow<ColoredGraph>> Iterator for Enumerate<'_, G> {
     type Item = Vec<Vertex>;
 
     fn next(&mut self) -> Option<Vec<Vertex>> {
@@ -523,14 +623,31 @@ impl Iterator for Enumerate<'_, '_> {
             .and_then(|succ| self.pq.next_solution(&succ));
         Some(cur)
     }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.next {
+            // Exhausted: exactly zero remaining.
+            None => (0, Some(0)),
+            // Boolean query with a buffered solution: exactly one.
+            Some(_) if self.pq.arity == 0 => (1, Some(1)),
+            // One solution buffered; the tail length is unknown without
+            // enumerating it (counting would break constant delay).
+            Some(_) => (1, None),
+        }
+    }
 }
+
+impl<G: Borrow<ColoredGraph>> std::iter::FusedIterator for Enumerate<'_, G> {}
 
 // ---------------------------------------------------------------------
 // One branch of the indexed engine.
 // ---------------------------------------------------------------------
 
-struct BranchEngine<'g> {
-    g: &'g ColoredGraph,
+/// One branch of the indexed engine. Owns every index structure; the
+/// graph itself is passed into each method by the `PreparedQuery`
+/// front-end, so the branch carries no lifetime and the whole engine can
+/// be owned by an `Arc`-backed snapshot.
+struct BranchEngine {
     fq: FragmentQuery,
     /// All sentences hold (otherwise the branch is empty and inert).
     active: bool,
@@ -550,14 +667,14 @@ struct BranchEngine<'g> {
     extend_check: bool,
 }
 
-impl<'g> BranchEngine<'g> {
+impl BranchEngine {
     fn try_prepare(
-        g: &'g ColoredGraph,
+        g: &ColoredGraph,
         fq: FragmentQuery,
         opts: &PrepareOpts,
         epsilon: f64,
         tracker: &BudgetTracker,
-    ) -> Result<BranchEngine<'g>, BudgetExceeded> {
+    ) -> Result<BranchEngine, BudgetExceeded> {
         let n = g.n();
         // Step 1: sentences (the ξ analogues). Independence sentences get
         // the fast scattered-set decision of Theorem 5.4's toolbox; other
@@ -579,7 +696,6 @@ impl<'g> BranchEngine<'g> {
         }
 
         let mut engine = BranchEngine {
-            g,
             active,
             oracles: HashMap::new(),
             cover: None,
@@ -662,9 +778,9 @@ impl<'g> BranchEngine<'g> {
     }
 
     /// Pseudo-linear counting (see `engine::counting`).
-    fn fast_count(&self) -> Option<u64> {
+    fn fast_count(&self, g: &ColoredGraph) -> Option<u64> {
         crate::engine::counting::fast_count(
-            self.g,
+            g,
             &self.fq,
             self.active,
             &self.unary_lists,
@@ -673,43 +789,49 @@ impl<'g> BranchEngine<'g> {
     }
 
     /// Constant-time binary-constraint test.
-    fn test_bin(&self, kind: BinKind, a: Vertex, b: Vertex) -> bool {
+    fn test_bin(&self, g: &ColoredGraph, kind: BinKind, a: Vertex, b: Vertex) -> bool {
         match kind {
             BinKind::Le(d) => self.oracles[&d].test(a, b),
             BinKind::Gt(d) => !self.oracles[&d].test(a, b),
-            BinKind::Edge => self.g.has_edge(a, b),
-            BinKind::NotEdge => !self.g.has_edge(a, b),
+            BinKind::Edge => g.has_edge(a, b),
+            BinKind::NotEdge => !g.has_edge(a, b),
             BinKind::Eq => a == b,
             BinKind::Neq => a != b,
         }
     }
 
     /// Corollary 2.4 test for this branch.
-    fn test_tuple(&self, t: &[Vertex]) -> bool {
+    fn test_tuple(&self, g: &ColoredGraph, t: &[Vertex]) -> bool {
         self.active
             && (0..self.fq.k).all(|j| self.unary_bits[j][t[j] as usize])
             && self
                 .fq
                 .binary
                 .iter()
-                .all(|c| self.test_bin(c.kind, t[c.i], t[c.j]))
+                .all(|c| self.test_bin(g, c.kind, t[c.i], t[c.j]))
     }
 
     /// Unary + prefix-constraint test for a candidate value at position `j`.
-    fn test_candidate(&self, prefix: &[Vertex], j: usize, b: Vertex) -> bool {
+    fn test_candidate(&self, g: &ColoredGraph, prefix: &[Vertex], j: usize, b: Vertex) -> bool {
         self.unary_bits[j][b as usize]
             && self
                 .fq
                 .constraints_on(j)
                 .filter(|c| c.i < prefix.len())
-                .all(|c| self.test_bin(c.kind, prefix[c.i], b))
+                .all(|c| self.test_bin(g, c.kind, prefix[c.i], b))
     }
 
     /// The Lemma 5.2 primitive: smallest `b ≥ b0` admissible at position
     /// `j ≥ prefix.len()` given the already-fixed prefix (constraints to
     /// unassigned positions are ignored).
-    fn next_value(&self, prefix: &[Vertex], j: usize, b0: Vertex) -> Option<Vertex> {
-        if !self.active || (b0 as usize) >= self.g.n() {
+    fn next_value(
+        &self,
+        g: &ColoredGraph,
+        prefix: &[Vertex],
+        j: usize,
+        b0: Vertex,
+    ) -> Option<Vertex> {
+        if !self.active || (b0 as usize) >= g.n() {
             return None;
         }
         let relevant: Vec<(usize, BinKind)> = self
@@ -722,15 +844,15 @@ impl<'g> BranchEngine<'g> {
         // Pick the tightest confining constraint: Eq ≻ Edge ≻ Le(min d).
         if let Some(&(i, _)) = relevant.iter().find(|(_, k)| *k == BinKind::Eq) {
             let cand = prefix[i];
-            return (cand >= b0 && self.test_candidate(prefix, j, cand)).then_some(cand);
+            return (cand >= b0 && self.test_candidate(g, prefix, j, cand)).then_some(cand);
         }
         if let Some(&(i, _)) = relevant.iter().find(|(_, k)| *k == BinKind::Edge) {
-            let ns = self.g.neighbors(prefix[i]);
+            let ns = g.neighbors(prefix[i]);
             let start = ns.partition_point(|&w| w < b0);
             return ns[start..]
                 .iter()
                 .copied()
-                .find(|&w| self.test_candidate(prefix, j, w));
+                .find(|&w| self.test_candidate(g, prefix, j, w));
         }
         let le_anchor = relevant
             .iter()
@@ -746,7 +868,7 @@ impl<'g> BranchEngine<'g> {
             let bag = cover.bag_of(prefix[i]);
             let mut w = cover.successor_in_bag(bag, b0)?;
             loop {
-                if self.test_candidate(prefix, j, w) {
+                if self.test_candidate(g, prefix, j, w) {
                     return Some(w);
                 }
                 w = cover.successor_in_bag(bag, w.checked_add(1)?)?;
@@ -773,7 +895,7 @@ impl<'g> BranchEngine<'g> {
                     if !better(&best, w) {
                         break;
                     }
-                    if self.test_candidate(prefix, j, w) {
+                    if self.test_candidate(g, prefix, j, w) {
                         best = Some(w);
                         break;
                     }
@@ -789,14 +911,14 @@ impl<'g> BranchEngine<'g> {
                 if !better(&best, w) {
                     break;
                 }
-                if self.test_candidate(prefix, j, w) {
+                if self.test_candidate(g, prefix, j, w) {
                     best = Some(w);
                     break;
                 }
                 // Only filter constraints (≠, ¬E) can reject here; their
                 // total rejections are bounded, so this loop is short.
                 match w.checked_add(1) {
-                    Some(next) if (next as usize) < self.g.n() => b = next,
+                    Some(next) if (next as usize) < g.n() => b = next,
                     _ => break,
                 }
             }
@@ -809,35 +931,41 @@ impl<'g> BranchEngine<'g> {
         list[start..]
             .iter()
             .copied()
-            .find(|&w| self.test_candidate(prefix, j, w))
+            .find(|&w| self.test_candidate(g, prefix, j, w))
     }
 
     /// Can the prefix be extended to a full solution? (Necessary per-future
     /// -position check; prunes backtracking.)
-    fn extendable(&self, prefix: &[Vertex]) -> bool {
-        (prefix.len()..self.fq.k).all(|m| self.next_value(prefix, m, 0).is_some())
+    fn extendable(&self, g: &ColoredGraph, prefix: &[Vertex]) -> bool {
+        (prefix.len()..self.fq.k).all(|m| self.next_value(g, prefix, m, 0).is_some())
     }
 
     /// Theorem 5.1 for this branch: lexicographic backtracking over
     /// `next_value`.
-    fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
+    fn next_solution(&self, g: &ColoredGraph, from: &[Vertex]) -> Option<Vec<Vertex>> {
         if !self.active {
             return None;
         }
         if self.fq.k == 0 {
             return Some(Vec::new());
         }
-        if self.g.n() == 0 {
+        if g.n() == 0 {
             return None;
         }
         let mut prefix: Vec<Vertex> = Vec::with_capacity(self.fq.k);
-        self.rec(from, &mut prefix, true)
+        self.rec(g, from, &mut prefix, true)
     }
 
-    fn rec(&self, from: &[Vertex], prefix: &mut Vec<Vertex>, tight: bool) -> Option<Vec<Vertex>> {
+    fn rec(
+        &self,
+        g: &ColoredGraph,
+        from: &[Vertex],
+        prefix: &mut Vec<Vertex>,
+        tight: bool,
+    ) -> Option<Vec<Vertex>> {
         let j = prefix.len();
         let lower = if tight { from[j] } else { 0 };
-        let mut cand = self.next_value(prefix, j, lower);
+        let mut cand = self.next_value(g, prefix, j, lower);
         while let Some(b) = cand {
             if j + 1 == self.fq.k {
                 let mut sol = prefix.clone();
@@ -846,15 +974,15 @@ impl<'g> BranchEngine<'g> {
             }
             let now_tight = tight && b == from[j];
             prefix.push(b);
-            if !self.extend_check || self.extendable(prefix) {
-                if let Some(sol) = self.rec(from, prefix, now_tight) {
+            if !self.extend_check || self.extendable(g, prefix) {
+                if let Some(sol) = self.rec(g, from, prefix, now_tight) {
                     return Some(sol);
                 }
             }
             prefix.pop();
             cand = b
                 .checked_add(1)
-                .and_then(|nb| self.next_value(prefix, j, nb));
+                .and_then(|nb| self.next_value(g, prefix, j, nb));
         }
         None
     }

@@ -40,6 +40,10 @@ pub enum Phase {
     TrieBuild,
     /// Naive `O(n^k)` materialization fallback.
     NaiveMaterialize,
+    /// Serving-runtime admission control (`nd-serve`): the budget is
+    /// interpreted as caps on queued/in-flight work instead of
+    /// preprocessing spend.
+    Admission,
 }
 
 impl fmt::Display for Phase {
@@ -53,6 +57,7 @@ impl fmt::Display for Phase {
             Phase::SkipClosure => "skip-pointer closure",
             Phase::TrieBuild => "trie build",
             Phase::NaiveMaterialize => "naive materialization",
+            Phase::Admission => "admission control",
         };
         f.write_str(s)
     }

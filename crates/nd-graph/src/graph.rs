@@ -173,7 +173,22 @@ impl ColoredGraph {
             .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
             .filter(|&(u, v)| u < v)
     }
+
+    /// Move the graph behind an [`std::sync::Arc`] so many threads (and the
+    /// indexes prepared over it) can co-own one immutable copy. The graph
+    /// is CSR-encoded plain data — `Send + Sync` is asserted below, so a
+    /// shared graph never needs a lock.
+    pub fn into_shared(self) -> std::sync::Arc<ColoredGraph> {
+        std::sync::Arc::new(self)
+    }
 }
+
+// The serving runtime shares one graph across worker threads; keep the
+// thread-safety of the plain-data representation a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ColoredGraph>();
+};
 
 impl fmt::Debug for ColoredGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

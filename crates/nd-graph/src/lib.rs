@@ -19,6 +19,8 @@
 //!   classes empirically.
 //! * [`budget`] — resource caps ([`Budget`]) and cooperative-cancellation
 //!   trackers shared by every preprocessing phase of the upper crates.
+//! * [`json`] — a minimal serde-free JSON writer shared by the workspace's
+//!   observability surfaces (stats, metrics, bench artifacts).
 //! * [`error`] — typed construction errors ([`GraphError`]).
 
 pub mod bfs;
@@ -30,6 +32,7 @@ pub mod generators;
 pub mod graph;
 pub mod induced;
 pub mod io;
+pub mod json;
 pub mod relational;
 pub mod stats;
 

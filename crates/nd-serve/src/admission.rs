@@ -1,0 +1,156 @@
+//! Admission control: the PR-1 [`Budget`] governor, reused at serve time.
+//!
+//! Preprocessing budgets cap how much work *building* an index may cost;
+//! admission control caps how much work may be *queued against* one. The
+//! same [`Budget`] vocabulary maps onto the serving side:
+//!
+//! * `node_expansions` — maximum requests queued or in flight;
+//! * `memory_bytes` — maximum approximate bytes of queued requests
+//!   (see [`crate::request::Request::cost_bytes`]);
+//! * `wall_clock` — the default per-request deadline.
+//!
+//! A submit that would exceed a cap is rejected *synchronously* with a
+//! typed [`BudgetExceeded`] (wrapped in `ServeError::Overloaded`) — the
+//! queue never grows unboundedly, and clients get backpressure they can
+//! act on instead of silent latency collapse.
+//!
+//! Unlike the single-threaded `BudgetTracker` (`Cell` counters), the
+//! governor here is shared across submitters and workers, so spend lives
+//! in atomics. Release is RAII: an [`AdmissionPermit`] rides with the
+//! batch through the queue and restores the spend when the batch is done
+//! (or dropped on any error path).
+
+use nd_graph::budget::{Budget, BudgetExceeded, Phase, Resource};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Spend {
+    requests: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Shared admission governor for one pool.
+#[derive(Debug)]
+pub struct Admission {
+    max_requests: Option<u64>,
+    max_bytes: Option<u64>,
+    default_deadline: Option<Duration>,
+    spend: Arc<Spend>,
+}
+
+impl Admission {
+    /// Interpret `budget` as serving caps (see module docs).
+    pub fn new(budget: Budget) -> Admission {
+        Admission {
+            max_requests: budget.node_expansions,
+            max_bytes: budget.memory_bytes,
+            default_deadline: budget.wall_clock,
+            spend: Arc::new(Spend::default()),
+        }
+    }
+
+    /// The per-request deadline implied by the budget's `wall_clock` cap.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        self.default_deadline
+    }
+
+    /// Requests currently queued or in flight.
+    pub fn inflight_requests(&self) -> u64 {
+        self.spend.requests.load(Ordering::Relaxed)
+    }
+
+    /// Try to admit a batch of `requests` totalling `bytes`. On success
+    /// the returned permit holds the spend until dropped.
+    pub fn try_admit(&self, requests: u64, bytes: u64) -> Result<AdmissionPermit, BudgetExceeded> {
+        let spent_req = self.spend.requests.fetch_add(requests, Ordering::AcqRel) + requests;
+        if let Some(cap) = self.max_requests {
+            if spent_req > cap {
+                self.spend.requests.fetch_sub(requests, Ordering::AcqRel);
+                return Err(BudgetExceeded {
+                    phase: Phase::Admission,
+                    resource: Resource::NodeExpansions,
+                    spent: spent_req,
+                    cap,
+                });
+            }
+        }
+        let spent_bytes = self.spend.bytes.fetch_add(bytes, Ordering::AcqRel) + bytes;
+        if let Some(cap) = self.max_bytes {
+            if spent_bytes > cap {
+                self.spend.requests.fetch_sub(requests, Ordering::AcqRel);
+                self.spend.bytes.fetch_sub(bytes, Ordering::AcqRel);
+                return Err(BudgetExceeded {
+                    phase: Phase::Admission,
+                    resource: Resource::MemoryBytes,
+                    spent: spent_bytes,
+                    cap,
+                });
+            }
+        }
+        Ok(AdmissionPermit {
+            spend: Arc::clone(&self.spend),
+            requests,
+            bytes,
+        })
+    }
+}
+
+/// RAII spend held by an admitted batch; dropping it releases the
+/// admission capacity (on completion, deadline reap, or panic unwind).
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    spend: Arc<Spend>,
+    requests: u64,
+    bytes: u64,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.spend
+            .requests
+            .fetch_sub(self.requests, Ordering::AcqRel);
+        self.spend.bytes.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_admits() {
+        let a = Admission::new(Budget::UNLIMITED);
+        let mut permits = Vec::new();
+        for _ in 0..1000 {
+            permits.push(a.try_admit(10, 1_000_000).unwrap());
+        }
+        assert_eq!(a.inflight_requests(), 10_000);
+        drop(permits);
+        assert_eq!(a.inflight_requests(), 0);
+    }
+
+    #[test]
+    fn request_cap_rejects_and_rolls_back() {
+        let a = Admission::new(Budget::UNLIMITED.with_node_expansions(5));
+        let p1 = a.try_admit(4, 0).unwrap();
+        let err = a.try_admit(2, 0).unwrap_err();
+        assert_eq!(err.phase, Phase::Admission);
+        assert_eq!(err.resource, Resource::NodeExpansions);
+        assert_eq!(err.cap, 5);
+        // The failed admit must not leak spend.
+        assert_eq!(a.inflight_requests(), 4);
+        drop(p1);
+        let _p2 = a.try_admit(5, 0).unwrap();
+    }
+
+    #[test]
+    fn byte_cap_rejects() {
+        let a = Admission::new(Budget::UNLIMITED.with_memory_bytes(100));
+        let _p = a.try_admit(1, 80).unwrap();
+        let err = a.try_admit(1, 40).unwrap_err();
+        assert_eq!(err.resource, Resource::MemoryBytes);
+        assert_eq!(a.inflight_requests(), 1);
+    }
+}

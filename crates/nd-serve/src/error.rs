@@ -1,0 +1,55 @@
+//! Typed serving-layer errors.
+
+use nd_core::QueryError;
+use nd_graph::BudgetExceeded;
+use std::fmt;
+use std::time::Duration;
+
+/// Why the serving runtime refused or failed a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request: accepting it would push
+    /// queued + in-flight work past the configured [`nd_graph::Budget`].
+    /// Callers should back off and retry; the server never queues
+    /// unboundedly.
+    Overloaded(BudgetExceeded),
+    /// The request's deadline expired before a worker started it.
+    DeadlineExceeded {
+        /// How long the request waited in the queue before being reaped.
+        waited: Duration,
+    },
+    /// The request itself was malformed (wrong arity, vertex out of
+    /// range) — a client error, not a server state.
+    Query(QueryError),
+    /// The pool is shutting down (or a worker disappeared mid-request).
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded(e) => write!(f, "server overloaded: {e}"),
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "deadline exceeded after queueing for {waited:?}")
+            }
+            ServeError::Query(e) => write!(f, "bad request: {e}"),
+            ServeError::Shutdown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Overloaded(e) => Some(e),
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        ServeError::Query(e)
+    }
+}

@@ -1,0 +1,329 @@
+//! Lock-free serving metrics.
+//!
+//! Counters and latency histograms are plain relaxed atomics — recording
+//! on the hot path is a handful of `fetch_add`s, no locks, no allocation.
+//! [`Metrics::snapshot`] materializes a consistent-enough point-in-time
+//! [`MetricsSnapshot`] (individual counters are exact; cross-counter skew
+//! is bounded by in-flight requests) that renders itself to JSON via the
+//! workspace's serde-free writer.
+//!
+//! Latencies land in log2-bucketed histograms: bucket `i` covers
+//! `[2^(i-1), 2^i)` nanoseconds, so 40 buckets span 1 ns to ~9 minutes
+//! with ≤ 2× relative error — plenty for p50/p95/p99 over constant-time
+//! probes.
+
+use crate::request::{RequestKind, REQUEST_KINDS};
+use nd_graph::json::{JsonArray, JsonObject};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of log2 latency buckets (1 ns .. ~2^39 ns ≈ 9 min).
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log2-bucketed latency histogram over nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Index of the bucket covering `ns`: `0` for 0–1 ns, else
+    /// `min(64 - leading_zeros(ns), last)`.
+    fn bucket_of(ns: u64) -> usize {
+        let b = (64 - ns.leading_zeros()) as usize;
+        b.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    pub fn record_ns(&self, ns: u64) {
+        self.record_ns_many(ns, 1);
+    }
+
+    /// Record `n` samples that share one latency value with a single
+    /// atomic op — the hot path for batch completions, where every
+    /// request in the batch resolves at the same instant.
+    pub fn record_ns_many(&self, ns: u64, n: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time copy of one histogram, with percentile estimation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) in nanoseconds: the
+    /// geometric midpoint of the bucket holding the `⌈q·total⌉`-th
+    /// sample. `None` on an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i covers [2^(i-1), 2^i); midpoint ≈ 3·2^(i-2).
+                // Buckets 0 and 1 are the degenerate {0} and {1}.
+                let mid = match i {
+                    0 => 0,
+                    1 => 1,
+                    i => 3u64 << (i - 2),
+                };
+                return Some(mid);
+            }
+        }
+        None
+    }
+
+    fn to_json(&self) -> String {
+        // Drop the empty tail so the JSON stays compact.
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| i + 1);
+        let mut arr = JsonArray::new();
+        for &c in &self.counts[..last] {
+            arr.push_u64(c);
+        }
+        arr.finish()
+    }
+}
+
+/// Per-request-kind live counters.
+#[derive(Debug, Default)]
+struct KindMetrics {
+    /// Requests admitted into the queue.
+    admitted: AtomicU64,
+    /// Requests completed successfully.
+    completed: AtomicU64,
+    /// Requests rejected by admission control.
+    rejected: AtomicU64,
+    /// Requests reaped because their deadline expired in the queue.
+    deadline_missed: AtomicU64,
+    /// Requests that failed with a client (query) error.
+    client_errors: AtomicU64,
+    /// Submit→completion latency of completed requests.
+    latency: LatencyHistogram,
+}
+
+/// The serving runtime's observability hub. One instance per pool; all
+/// recording is lock-free.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    kinds: [KindMetrics; 3],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            started: Instant::now(),
+            kinds: std::array::from_fn(|_| KindMetrics::default()),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn of(&self, kind: RequestKind) -> &KindMetrics {
+        &self.kinds[kind as usize]
+    }
+
+    pub fn record_admitted(&self, kind: RequestKind, n: u64) {
+        self.of(kind).admitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self, kind: RequestKind, n: u64) {
+        self.of(kind).rejected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_deadline_missed(&self, kind: RequestKind, n: u64) {
+        self.of(kind)
+            .deadline_missed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_client_error(&self, kind: RequestKind) {
+        self.of(kind).client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_completed(&self, kind: RequestKind, latency_ns: u64) {
+        self.record_completed_many(kind, 1, latency_ns);
+    }
+
+    /// Record `n` completions sharing one latency (a whole batch) with
+    /// two atomic ops instead of `2n`. Per-request recording makes the
+    /// metric counters the scaling bottleneck: sub-µs probes executed by
+    /// several workers ping-pong the counter cache lines and flatten
+    /// multi-worker throughput.
+    pub fn record_completed_many(&self, kind: RequestKind, n: u64, latency_ns: u64) {
+        if n == 0 {
+            return;
+        }
+        let k = self.of(kind);
+        k.completed.fetch_add(n, Ordering::Relaxed);
+        k.latency.record_ns_many(latency_ns, n);
+    }
+
+    /// Materialize a point-in-time snapshot of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            kinds: REQUEST_KINDS.map(|kind| {
+                let k = self.of(kind);
+                KindSnapshot {
+                    kind,
+                    admitted: k.admitted.load(Ordering::Relaxed),
+                    completed: k.completed.load(Ordering::Relaxed),
+                    rejected: k.rejected.load(Ordering::Relaxed),
+                    deadline_missed: k.deadline_missed.load(Ordering::Relaxed),
+                    client_errors: k.client_errors.load(Ordering::Relaxed),
+                    latency: HistogramSnapshot {
+                        counts: k.latency.counts(),
+                    },
+                }
+            }),
+        }
+    }
+}
+
+/// Point-in-time counters for one request kind.
+#[derive(Clone, Debug)]
+pub struct KindSnapshot {
+    pub kind: RequestKind,
+    pub admitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub deadline_missed: u64,
+    pub client_errors: u64,
+    pub latency: HistogramSnapshot,
+}
+
+impl KindSnapshot {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("admitted", self.admitted)
+            .field_u64("completed", self.completed)
+            .field_u64("rejected", self.rejected)
+            .field_u64("deadline_missed", self.deadline_missed)
+            .field_u64("client_errors", self.client_errors);
+        for (name, q) in [("p50_ns", 0.50), ("p95_ns", 0.95), ("p99_ns", 0.99)] {
+            match self.latency.quantile_ns(q) {
+                Some(ns) => o.field_u64(name, ns),
+                None => o.field_null(name),
+            };
+        }
+        o.field_raw("latency_log2_ns", &self.latency.to_json());
+        o.finish()
+    }
+}
+
+/// Everything [`Metrics`] knows, frozen. Rendered to JSON by
+/// [`MetricsSnapshot::to_json`]; the pool's `metrics_snapshot` also
+/// attaches prepare-phase stats from the snapshot under `"prepare"`.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    pub uptime_ms: u64,
+    pub kinds: [KindSnapshot; 3],
+}
+
+impl MetricsSnapshot {
+    pub fn kind(&self, kind: RequestKind) -> &KindSnapshot {
+        &self.kinds[kind as usize]
+    }
+
+    pub fn total_completed(&self) -> u64 {
+        self.kinds.iter().map(|k| k.completed).sum()
+    }
+
+    pub fn total_rejected(&self) -> u64 {
+        self.kinds.iter().map(|k| k.rejected).sum()
+    }
+
+    /// Serde-free JSON rendering: `{"uptime_ms":..,"test":{...},...}`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("uptime_ms", self.uptime_ms);
+        for k in &self.kinds {
+            o.field_raw(k.kind.name(), &k.to_json());
+        }
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_powers() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record_ns(100); // bucket 7: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record_ns(10_000); // bucket 14: [8192, 16384)
+        }
+        let snap = HistogramSnapshot { counts: h.counts() };
+        assert_eq!(snap.total(), 100);
+        let p50 = snap.quantile_ns(0.50).unwrap();
+        assert!((64..128).contains(&p50), "p50 = {p50}");
+        let p99 = snap.quantile_ns(0.99).unwrap();
+        assert!((8_192..16_384).contains(&p99), "p99 = {p99}");
+        assert_eq!(HistogramSnapshot::default().quantile_ns(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let m = Metrics::new();
+        m.record_admitted(RequestKind::Test, 3);
+        m.record_completed(RequestKind::Test, 500);
+        m.record_rejected(RequestKind::EnumeratePage, 2);
+        let j = m.snapshot().to_json();
+        assert!(j.contains("\"test\":{\"admitted\":3,\"completed\":1"));
+        assert!(j.contains("\"enumerate_page\":{\"admitted\":0,\"completed\":0,\"rejected\":2"));
+        assert!(j.contains("\"latency_log2_ns\":["));
+    }
+}

@@ -1,0 +1,81 @@
+//! The serving runtime's wire-level unit of work.
+//!
+//! Every request is one of the paper's three constant-time primitives;
+//! batches of requests ride through the pool together so dispatch overhead
+//! amortizes across the (sub-microsecond) per-probe work.
+
+use nd_graph::Vertex;
+
+/// One query-serving request against a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Corollary 2.4: is `tuple` a solution?
+    Test { tuple: Vec<Vertex> },
+    /// Theorem 2.3: smallest solution `≥ from`.
+    NextSolution { from: Vec<Vertex> },
+    /// Corollary 2.5, paged: up to `limit` solutions `≥ from`, plus the
+    /// resume cursor.
+    EnumeratePage { from: Vec<Vertex>, limit: usize },
+}
+
+/// Request kind, for metrics bucketing. `as usize` indexes metric arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    Test = 0,
+    NextSolution = 1,
+    EnumeratePage = 2,
+}
+
+/// All request kinds, in metric-array order.
+pub const REQUEST_KINDS: [RequestKind; 3] = [
+    RequestKind::Test,
+    RequestKind::NextSolution,
+    RequestKind::EnumeratePage,
+];
+
+impl RequestKind {
+    /// Stable machine-readable name (JSON keys, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Test => "test",
+            RequestKind::NextSolution => "next_solution",
+            RequestKind::EnumeratePage => "enumerate_page",
+        }
+    }
+}
+
+impl Request {
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Test { .. } => RequestKind::Test,
+            Request::NextSolution { .. } => RequestKind::NextSolution,
+            Request::EnumeratePage { .. } => RequestKind::EnumeratePage,
+        }
+    }
+
+    /// Approximate queued footprint in bytes, charged against the
+    /// admission budget's `memory_bytes` cap while the request waits.
+    pub fn cost_bytes(&self) -> u64 {
+        let tuple_bytes = |t: &Vec<Vertex>| (t.len() * std::mem::size_of::<Vertex>()) as u64;
+        match self {
+            Request::Test { tuple } => 32 + tuple_bytes(tuple),
+            Request::NextSolution { from } => 32 + tuple_bytes(from),
+            // A page holds its (future) result rows too; charge the
+            // requested limit so huge pages count as huge queue entries.
+            Request::EnumeratePage { from, limit } => 32 + tuple_bytes(from) * (1 + *limit as u64),
+        }
+    }
+}
+
+/// The answer to one [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    Test(bool),
+    NextSolution(Option<Vec<Vertex>>),
+    /// One page of solutions plus the cursor to pass as the next `from`
+    /// (`None` when enumeration is exhausted).
+    Page {
+        solutions: Vec<Vec<Vertex>>,
+        next_from: Option<Vec<Vertex>>,
+    },
+}

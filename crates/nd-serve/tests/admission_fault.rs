@@ -1,0 +1,147 @@
+//! Admission-control fault injection: saturate the pool and assert the
+//! runtime sheds load with *typed* rejections — and that the metrics
+//! layer records every shed request — instead of queueing unboundedly.
+
+use nd_core::PrepareOpts;
+use nd_graph::budget::{Budget, Phase, Resource};
+use nd_graph::{generators, Vertex};
+use nd_logic::parse_query;
+use nd_serve::{Request, ServeError, ServeOpts, ServerPool, Snapshot};
+use std::time::Duration;
+
+fn big_snapshot() -> Snapshot {
+    // A dense-solution workload: full pages over dist<=2 keep a worker
+    // busy for a long time relative to a submit call.
+    let mut g = generators::grid(40, 40);
+    let blue: Vec<Vertex> = (0..g.n() as Vertex).collect();
+    g.add_color(blue, Some("Blue".into()));
+    let q = parse_query("dist(x,y) <= 2 && Blue(y)").unwrap();
+    Snapshot::build_owned(g, &q, &PrepareOpts::default()).unwrap()
+}
+
+fn slow_page() -> Request {
+    Request::EnumeratePage {
+        from: vec![0, 0],
+        limit: 100_000,
+    }
+}
+
+#[test]
+fn saturated_pool_rejects_with_typed_overload() {
+    let snap = big_snapshot();
+    // One worker, at most 2 requests queued or in flight.
+    let pool = ServerPool::start(
+        snap,
+        &ServeOpts {
+            workers: 1,
+            admission: Budget::UNLIMITED.with_node_expansions(2),
+        },
+    );
+
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..50 {
+        match pool.submit(vec![slow_page()]) {
+            Ok(h) => accepted.push(h),
+            Err(ServeError::Overloaded(e)) => {
+                // The typed rejection carries the governor's full context.
+                assert_eq!(e.phase, Phase::Admission);
+                assert_eq!(e.resource, Resource::NodeExpansions);
+                assert_eq!(e.cap, 2);
+                assert!(e.spent > e.cap);
+                rejected += 1;
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    // Capacity is 2 and the first page keeps the only worker busy far
+    // longer than the submit loop runs, so most of the 50 must bounce.
+    assert!(rejected >= 40, "only {rejected} rejections");
+    assert!(!accepted.is_empty());
+
+    // Accepted work still completes correctly.
+    for h in accepted {
+        for r in h.wait() {
+            r.expect("accepted request must complete");
+        }
+    }
+
+    // Metrics recorded the shed load, kind-bucketed.
+    let m = pool.metrics_snapshot();
+    let page = m.kind(nd_serve::RequestKind::EnumeratePage);
+    assert_eq!(page.rejected, rejected);
+    assert_eq!(page.completed + page.rejected, 50);
+    let json = pool.metrics_json();
+    assert!(json.contains(&format!("\"rejected\":{rejected}")));
+
+    // After the backlog drains, admission capacity is restored: the pool
+    // accepts and serves again (backpressure, not a death spiral).
+    let again = pool.submit(vec![slow_page()]).expect("capacity restored");
+    for r in again.wait() {
+        r.expect("post-overload request must complete");
+    }
+}
+
+#[test]
+fn oversized_batch_is_rejected_by_byte_cap() {
+    let snap = big_snapshot();
+    let pool = ServerPool::start(
+        snap,
+        &ServeOpts {
+            workers: 1,
+            admission: Budget::UNLIMITED.with_memory_bytes(1024),
+        },
+    );
+    // A single huge page request costs far more than 1 KiB of queue.
+    let err = pool
+        .submit(vec![Request::EnumeratePage {
+            from: vec![0, 0],
+            limit: 1_000_000,
+        }])
+        .unwrap_err();
+    match err {
+        ServeError::Overloaded(e) => {
+            assert_eq!(e.phase, Phase::Admission);
+            assert_eq!(e.resource, Resource::MemoryBytes);
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+    // Small requests still fit under the cap.
+    pool.call(Request::Test { tuple: vec![0, 1] }).unwrap();
+    let m = pool.metrics_snapshot();
+    assert_eq!(m.kind(nd_serve::RequestKind::EnumeratePage).rejected, 1);
+    assert_eq!(m.kind(nd_serve::RequestKind::Test).completed, 1);
+}
+
+#[test]
+fn queued_work_past_deadline_is_shed() {
+    let snap = big_snapshot();
+    let pool = ServerPool::start(
+        snap,
+        &ServeOpts {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    // Occupy the single worker, then queue a request whose deadline will
+    // expire while it waits.
+    let blocker = pool.submit(vec![slow_page(), slow_page()]).unwrap();
+    let doomed = pool
+        .submit_with_deadline(
+            vec![Request::Test { tuple: vec![0, 1] }],
+            Some(Duration::from_micros(1)),
+        )
+        .unwrap();
+    let results = doomed.wait();
+    match &results[0] {
+        Err(ServeError::DeadlineExceeded { waited }) => {
+            assert!(*waited >= Duration::from_micros(1));
+        }
+        other => panic!("expected deadline miss, got {other:?}"),
+    }
+    for r in blocker.wait() {
+        r.expect("blocker batch completes");
+    }
+    let m = pool.metrics_snapshot();
+    assert_eq!(m.kind(nd_serve::RequestKind::Test).deadline_missed, 1);
+}

@@ -11,44 +11,135 @@
 //! # constant-time membership tests and next-solution jumps
 //! ndq --graph tree:50000:3 --color Blue:0.1:1 \
 //!     --query "dist(x,y) > 4 && Blue(y)" --test 17,3009 --next 17,0 --stats
+//!
+//! # serve probes over a line protocol (stdin or TCP)
+//! ndq serve --graph grid:60x60 --color Blue:0.3:7 \
+//!     --query "dist(x,y) > 2 && Blue(y)" --workers 4
+//!
+//! # closed-loop serving benchmark: worker scaling, p50/p95/p99, JSON report
+//! ndq bench-serve --smoke --json bench.json
 //! ```
 
-use nowhere_dense::core::{Budget, Epsilon, PrepareOpts, PreparedQuery};
+use nowhere_dense::core::{Budget, Epsilon, NdError, PrepareOpts, PreparedQuery};
+use nowhere_dense::graph::json::{JsonArray, JsonObject};
 use nowhere_dense::graph::{generators, io, ColoredGraph, Vertex};
 use nowhere_dense::logic::parse_query;
+use nowhere_dense::serve::metrics::HISTOGRAM_BUCKETS;
+use nowhere_dense::serve::{
+    HistogramSnapshot, Request, Response, ServeError, ServeOpts, ServerPool, Snapshot,
+};
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-struct Args {
-    graph_spec: Option<String>,
-    graph_file: Option<String>,
-    colors: Vec<String>,
-    query: Option<String>,
-    enumerate: Option<usize>,
-    count: bool,
-    tests: Vec<String>,
-    nexts: Vec<String>,
-    epsilon: f64,
-    stats: bool,
-    no_fallback: bool,
-    budget_nodes: Option<u64>,
+// ---------------------------------------------------------------------------
+// Errors and exit codes
+// ---------------------------------------------------------------------------
+
+/// Top-level CLI failure. Every variant maps to a distinct exit code (see
+/// `EXIT CODES` in `--help`), so scripts can dispatch on `$?` without
+/// scraping stderr.
+#[derive(Debug)]
+enum CliError {
+    /// Malformed command line or un-parseable client input.
+    Usage(String),
+    /// A typed engine error, exit-coded per `NdError` variant.
+    Nd(NdError),
+    /// A serving-runtime error outside the `NdError` hierarchy.
+    Serve(ServeError),
+    /// An operating-system I/O failure (file open/write, socket bind).
+    Io(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Nd(NdError::Graph(_)) => 10,
+            CliError::Nd(NdError::Store(_)) => 11,
+            CliError::Nd(NdError::Budget(_)) => 12,
+            CliError::Nd(NdError::Prepare(_)) => 13,
+            CliError::Nd(NdError::Query(_)) => 14,
+            CliError::Nd(NdError::Read(_)) => 15,
+            // Admission rejections are budget overruns; probe defects are
+            // query errors — keep their codes aligned with the NdError ones.
+            CliError::Serve(ServeError::Overloaded(_)) => 12,
+            CliError::Serve(ServeError::Query(_)) => 14,
+            CliError::Serve(_) => 16,
+            CliError::Io(_) => 17,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(s) => write!(f, "{s}"),
+            CliError::Nd(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "{e}"),
+            CliError::Io(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<NdError> for CliError {
+    fn from(e: NdError) -> Self {
+        CliError::Nd(e)
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
 }
 
 const USAGE: &str = "\
 ndq — constant-delay FO query evaluation over sparse graphs
 
 USAGE:
-  ndq --graph SPEC | --graph-file PATH   the input graph
+  ndq [OPTIONS]               one-shot query evaluation
+  ndq serve [OPTIONS]         serve probes over stdin or TCP (line protocol)
+  ndq bench-serve [OPTIONS]   closed-loop serving benchmark
+
+GRAPH / QUERY OPTIONS (all modes):
+  --graph SPEC | --graph-file PATH   the input graph
       [--color NAME:DENSITY:SEED]...     add a random color
       --query QUERY                      FO+ query (see README for syntax)
+      [--epsilon F]                      accuracy parameter (default 0.5)
+      [--no-fallback]                    error on non-fragment queries
+      [--budget-nodes N]                 cap preprocessing node expansions
+
+ONE-SHOT OPTIONS:
       [--enumerate N]                    stream the first N answers
       [--count]                          count all answers
       [--test a,b,...]...                membership tests (Cor 2.4)
       [--next a,b,...]...                next-solution jumps (Thm 2.3)
-      [--epsilon F]                      accuracy parameter (default 0.5)
       [--stats]                          print index statistics
-      [--no-fallback]                    error on non-fragment queries
-      [--budget-nodes N]                 cap preprocessing node expansions
+
+SERVE OPTIONS:
+      [--workers N]                      worker threads (0 = all cores)
+      [--listen HOST:PORT]               serve TCP instead of stdin
+      [--max-inflight N]                 admission cap: queued+in-flight requests
+      [--max-queued-bytes N]             admission cap: queued request bytes
+      [--deadline-ms N]                  default per-request deadline
+  protocol, one command per line:
+      test a,b,..   next a,b,..   page a,b,.. LIMIT   stats   metrics   quit
+
+BENCH-SERVE OPTIONS (defaults in brackets):
+      [--workers LIST]                   worker counts to compare [1,4]
+      [--clients N]                      concurrent closed-loop clients [8]
+      [--batch N]                        requests per submitted batch [128]
+      [--requests N]                     requests per run [200000]
+      [--mix KIND]                       test | next | page | mixed [test]
+      [--page-limit N]                   page size for page/mixed [32]
+      [--json PATH]                      write a JSON report
+      [--smoke]                          small CI-sized defaults
 
 GRAPH SPECS:
   grid:WxH           W×H grid
@@ -56,75 +147,149 @@ GRAPH SPECS:
   tree:N:SEED        random tree
   bdeg:N:D:SEED      random graph with max degree D
   path:N | cycle:N | star:N | clique:N
+
+EXIT CODES:
+  0 ok          2 usage        10 graph     11 store     12 budget/overload
+  13 prepare    14 query       15 read      16 serve     17 I/O
 ";
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        graph_spec: None,
-        graph_file: None,
-        colors: Vec::new(),
-        query: None,
-        enumerate: None,
-        count: false,
-        tests: Vec::new(),
-        nexts: Vec::new(),
-        epsilon: 0.5,
-        stats: false,
-        no_fallback: false,
-        budget_nodes: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        let mut val = |what: &str| it.next().ok_or_else(|| format!("missing value for {what}"));
-        match a.as_str() {
-            "--graph" => args.graph_spec = Some(val("--graph")?),
-            "--graph-file" => args.graph_file = Some(val("--graph-file")?),
-            "--color" => args.colors.push(val("--color")?),
-            "--query" => args.query = Some(val("--query")?),
-            "--enumerate" => {
-                args.enumerate = Some(
-                    val("--enumerate")?
-                        .parse()
-                        .map_err(|e| format!("bad --enumerate: {e}"))?,
-                )
-            }
-            "--count" => args.count = true,
-            "--test" => args.tests.push(val("--test")?),
-            "--next" => args.nexts.push(val("--next")?),
+// ---------------------------------------------------------------------------
+// Shared argument parsing
+// ---------------------------------------------------------------------------
+
+/// Graph + query options shared by all three modes.
+struct Common {
+    graph_spec: Option<String>,
+    graph_file: Option<String>,
+    colors: Vec<String>,
+    query: Option<String>,
+    epsilon: f64,
+    no_fallback: bool,
+    budget_nodes: Option<u64>,
+}
+
+impl Common {
+    fn new() -> Common {
+        Common {
+            graph_spec: None,
+            graph_file: None,
+            colors: Vec::new(),
+            query: None,
+            epsilon: 0.5,
+            no_fallback: false,
+            budget_nodes: None,
+        }
+    }
+
+    /// Try to consume `flag` as a shared option; `Ok(false)` means the flag
+    /// belongs to the caller's mode-specific set.
+    fn try_parse_flag(
+        &mut self,
+        flag: &str,
+        it: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, CliError> {
+        let mut val = |what: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("missing value for {what}")))
+        };
+        match flag {
+            "--graph" => self.graph_spec = Some(val("--graph")?),
+            "--graph-file" => self.graph_file = Some(val("--graph-file")?),
+            "--color" => self.colors.push(val("--color")?),
+            "--query" => self.query = Some(val("--query")?),
             "--epsilon" => {
-                args.epsilon = val("--epsilon")?
+                self.epsilon = val("--epsilon")?
                     .parse()
-                    .map_err(|e| format!("bad --epsilon: {e}"))?
+                    .map_err(|e| usage(format!("bad --epsilon: {e}")))?
             }
-            "--stats" => args.stats = true,
-            "--no-fallback" => args.no_fallback = true,
+            "--no-fallback" => self.no_fallback = true,
             "--budget-nodes" => {
-                args.budget_nodes = Some(
+                self.budget_nodes = Some(
                     val("--budget-nodes")?
                         .parse()
-                        .map_err(|e| format!("bad --budget-nodes: {e}"))?,
+                        .map_err(|e| usage(format!("bad --budget-nodes: {e}")))?,
                 )
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown argument {other:?}")),
+            _ => return Ok(false),
         }
+        Ok(true)
     }
-    Ok(args)
+
+    fn build_graph(&self) -> Result<ColoredGraph, CliError> {
+        let mut g = match (&self.graph_spec, &self.graph_file) {
+            (Some(spec), None) => build_graph(spec)?,
+            (None, Some(path)) => {
+                let f = std::fs::File::open(path)
+                    .map_err(|e| CliError::Io(format!("open {path}: {e}")))?;
+                io::read_graph(std::io::BufReader::new(f)).map_err(NdError::from)?
+            }
+            _ => {
+                return Err(usage(
+                    "provide exactly one of --graph / --graph-file (see --help)",
+                ))
+            }
+        };
+        for c in &self.colors {
+            add_color(&mut g, c)?;
+        }
+        Ok(g)
+    }
+
+    fn prepare_opts(&self) -> Result<PrepareOpts, CliError> {
+        // Validate ε up front: a typed error here beats a panic mid-preparation.
+        let epsilon = Epsilon::try_new(self.epsilon)?;
+        Ok(PrepareOpts {
+            epsilon: epsilon.get(),
+            allow_fallback: !self.no_fallback,
+            budget: match self.budget_nodes {
+                Some(cap) => Budget::UNLIMITED.with_node_expansions(cap),
+                None => Budget::UNLIMITED,
+            },
+            ..PrepareOpts::default()
+        })
+    }
+
+    /// Build graph, parse query, prepare — everything `serve`/`bench-serve`
+    /// need before the first request.
+    fn build_snapshot(&self) -> Result<Snapshot, CliError> {
+        let g = self.build_graph()?;
+        eprintln!(
+            "graph: {} vertices, {} edges, {} colors",
+            g.n(),
+            g.m(),
+            g.num_colors()
+        );
+        let query_src = self
+            .query
+            .as_deref()
+            .ok_or_else(|| usage("missing --query (see --help)"))?;
+        let q = parse_query(query_src).map_err(|e| usage(e.to_string()))?;
+        eprintln!("query: {q}");
+        let snap = Snapshot::build_owned(g, &q, &self.prepare_opts()?).map_err(NdError::from)?;
+        eprintln!(
+            "prepared in {} ms (rung: {})",
+            snap.build_ms(),
+            snap.stats().rung.name()
+        );
+        Ok(snap)
+    }
 }
 
-fn build_graph(spec: &str) -> Result<ColoredGraph, String> {
+fn build_graph(spec: &str) -> Result<ColoredGraph, CliError> {
     let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<usize, String> {
-        s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+    let num = |s: &str| -> Result<usize, CliError> {
+        s.parse()
+            .map_err(|e| usage(format!("bad number {s:?}: {e}")))
     };
     match parts.as_slice() {
         ["grid", wh] | ["pgrid", wh, ..] => {
             let (w, h) = wh
                 .split_once('x')
-                .ok_or_else(|| format!("expected WxH, got {wh:?}"))?;
+                .ok_or_else(|| usage(format!("expected WxH, got {wh:?}")))?;
             let (w, h) = (num(w)?, num(h)?);
             if parts[0] == "grid" {
                 Ok(generators::grid(w, h))
@@ -144,17 +309,27 @@ fn build_graph(spec: &str) -> Result<ColoredGraph, String> {
         ["cycle", n] => Ok(generators::cycle(num(n)?)),
         ["star", n] => Ok(generators::star(num(n)?)),
         ["clique", n] => Ok(generators::clique(num(n)?)),
-        _ => Err(format!("unknown graph spec {spec:?} (see --help)")),
+        _ => Err(usage(format!("unknown graph spec {spec:?} (see --help)"))),
     }
 }
 
-fn add_color(g: &mut ColoredGraph, spec: &str) -> Result<(), String> {
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn add_color(g: &mut ColoredGraph, spec: &str) -> Result<(), CliError> {
     let parts: Vec<&str> = spec.split(':').collect();
     let [name, density, seed] = parts.as_slice() else {
-        return Err(format!("expected NAME:DENSITY:SEED, got {spec:?}"));
+        return Err(usage(format!("expected NAME:DENSITY:SEED, got {spec:?}")));
     };
-    let density: f64 = density.parse().map_err(|e| format!("bad density: {e}"))?;
-    let seed: u64 = seed.parse().map_err(|e| format!("bad seed: {e}"))?;
+    let density: f64 = density
+        .parse()
+        .map_err(|e| usage(format!("bad density: {e}")))?;
+    let seed: u64 = seed.parse().map_err(|e| usage(format!("bad seed: {e}")))?;
     let threshold = (density.clamp(0.0, 1.0) * u32::MAX as f64) as u32;
     let members: Vec<Vertex> = (0..g.n() as Vertex)
         .filter(|v| {
@@ -169,34 +344,73 @@ fn add_color(g: &mut ColoredGraph, spec: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_tuple(s: &str, arity: usize, n: usize) -> Result<Vec<Vertex>, String> {
+fn parse_tuple(s: &str, arity: usize, n: usize) -> Result<Vec<Vertex>, CliError> {
     let t: Result<Vec<Vertex>, _> = s.split(',').map(|p| p.trim().parse()).collect();
-    let t = t.map_err(|e| format!("bad tuple {s:?}: {e}"))?;
+    let t = t.map_err(|e| usage(format!("bad tuple {s:?}: {e}")))?;
     if t.len() != arity {
-        return Err(format!(
+        return Err(usage(format!(
             "tuple {s:?} has arity {}, query has {arity}",
             t.len()
-        ));
+        )));
     }
     if let Some(&v) = t.iter().find(|&&v| (v as usize) >= n) {
-        return Err(format!("vertex {v} out of range [0,{n})"));
+        return Err(usage(format!("vertex {v} out of range [0,{n})")));
     }
     Ok(t)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let mut g = match (&args.graph_spec, &args.graph_file) {
-        (Some(spec), None) => build_graph(spec)?,
-        (None, Some(path)) => {
-            let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            io::read_graph(std::io::BufReader::new(f)).map_err(|e| e.to_string())?
-        }
-        _ => return Err("provide exactly one of --graph / --graph-file (see --help)".into()),
+// ---------------------------------------------------------------------------
+// One-shot mode (the original ndq)
+// ---------------------------------------------------------------------------
+
+struct QueryArgs {
+    common: Common,
+    enumerate: Option<usize>,
+    count: bool,
+    tests: Vec<String>,
+    nexts: Vec<String>,
+    stats: bool,
+}
+
+fn parse_query_args(argv: Vec<String>) -> Result<QueryArgs, CliError> {
+    let mut args = QueryArgs {
+        common: Common::new(),
+        enumerate: None,
+        count: false,
+        tests: Vec::new(),
+        nexts: Vec::new(),
+        stats: false,
     };
-    for c in &args.colors {
-        add_color(&mut g, c)?;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if args.common.try_parse_flag(&a, &mut it)? {
+            continue;
+        }
+        let mut val = |what: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("missing value for {what}")))
+        };
+        match a.as_str() {
+            "--enumerate" => {
+                args.enumerate = Some(
+                    val("--enumerate")?
+                        .parse()
+                        .map_err(|e| usage(format!("bad --enumerate: {e}")))?,
+                )
+            }
+            "--count" => args.count = true,
+            "--test" => args.tests.push(val("--test")?),
+            "--next" => args.nexts.push(val("--next")?),
+            "--stats" => args.stats = true,
+            other => return Err(usage(format!("unknown argument {other:?}"))),
+        }
     }
+    Ok(args)
+}
+
+fn cmd_query(argv: Vec<String>) -> Result<(), CliError> {
+    let args = parse_query_args(argv)?;
+    let g = args.common.build_graph()?;
     eprintln!(
         "graph: {} vertices, {} edges, {} colors",
         g.n(),
@@ -204,23 +418,17 @@ fn run() -> Result<(), String> {
         g.num_colors()
     );
 
-    let query_src = args.query.ok_or("missing --query (see --help)")?;
-    let q = parse_query(&query_src).map_err(|e| e.to_string())?;
+    let query_src = args
+        .common
+        .query
+        .as_deref()
+        .ok_or_else(|| usage("missing --query (see --help)"))?;
+    let q = parse_query(query_src).map_err(|e| usage(e.to_string()))?;
     eprintln!("query: {q}");
 
-    // Validate ε up front: a typed error here beats a panic mid-preparation.
-    let epsilon = Epsilon::try_new(args.epsilon).map_err(|e| e.to_string())?;
-    let opts = PrepareOpts {
-        epsilon: epsilon.get(),
-        allow_fallback: !args.no_fallback,
-        budget: match args.budget_nodes {
-            Some(cap) => Budget::UNLIMITED.with_node_expansions(cap),
-            None => Budget::UNLIMITED,
-        },
-        ..PrepareOpts::default()
-    };
+    let opts = args.common.prepare_opts()?;
     let t0 = Instant::now();
-    let prepared = PreparedQuery::prepare(&g, &q, &opts).map_err(|e| e.to_string())?;
+    let prepared = PreparedQuery::prepare(&g, &q, &opts).map_err(NdError::from)?;
     eprintln!(
         "prepared in {:?} ({:?})",
         t0.elapsed(),
@@ -258,12 +466,656 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// serve mode: a line protocol over stdin or TCP
+// ---------------------------------------------------------------------------
+
+struct ServeArgs {
+    common: Common,
+    workers: usize,
+    listen: Option<String>,
+    max_inflight: Option<u64>,
+    max_queued_bytes: Option<u64>,
+    deadline_ms: Option<u64>,
+}
+
+fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
+    let mut args = ServeArgs {
+        common: Common::new(),
+        workers: 0,
+        listen: None,
+        max_inflight: None,
+        max_queued_bytes: None,
+        deadline_ms: None,
+    };
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if args.common.try_parse_flag(&a, &mut it)? {
+            continue;
+        }
+        let mut val = |what: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("missing value for {what}")))
+        };
+        let parse_u64 = |what: &str, s: String| -> Result<u64, CliError> {
+            s.parse().map_err(|e| usage(format!("bad {what}: {e}")))
+        };
+        match a.as_str() {
+            "--workers" => {
+                args.workers = val("--workers")?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --workers: {e}")))?
+            }
+            "--listen" => args.listen = Some(val("--listen")?),
+            "--max-inflight" => {
+                args.max_inflight = Some(parse_u64("--max-inflight", val("--max-inflight")?)?)
+            }
+            "--max-queued-bytes" => {
+                args.max_queued_bytes =
+                    Some(parse_u64("--max-queued-bytes", val("--max-queued-bytes")?)?)
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(parse_u64("--deadline-ms", val("--deadline-ms")?)?)
+            }
+            other => return Err(usage(format!("unknown argument {other:?}"))),
+        }
+    }
+    Ok(args)
+}
+
+fn admission_budget(args: &ServeArgs) -> Budget {
+    let mut b = Budget::UNLIMITED;
+    if let Some(cap) = args.max_inflight {
+        b = b.with_node_expansions(cap);
+    }
+    if let Some(cap) = args.max_queued_bytes {
+        b = b.with_memory_bytes(cap);
+    }
+    if let Some(ms) = args.deadline_ms {
+        b = b.with_wall_clock(Duration::from_millis(ms));
+    }
+    b
+}
+
+fn fmt_tuple(t: &[Vertex]) -> String {
+    t.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_csv_tuple(s: &str) -> Result<Vec<Vertex>, CliError> {
+    s.split(',')
+        .map(|p| p.trim().parse::<Vertex>())
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| usage(format!("bad tuple {s:?}: {e}")))
+}
+
+fn fmt_response(r: Response) -> String {
+    match r {
+        Response::Test(b) => b.to_string(),
+        Response::NextSolution(None) => "none".into(),
+        Response::NextSolution(Some(t)) => fmt_tuple(&t),
+        Response::Page {
+            solutions,
+            next_from,
+        } => {
+            let next = next_from.map_or_else(|| "end".to_string(), |t| fmt_tuple(&t));
+            if solutions.is_empty() {
+                format!("next={next}")
+            } else {
+                let sols: Vec<String> = solutions.iter().map(|s| fmt_tuple(s)).collect();
+                format!("{} next={next}", sols.join(";"))
+            }
+        }
+    }
+}
+
+fn fmt_serve_error(e: &ServeError) -> String {
+    let kind = match e {
+        ServeError::Overloaded(_) => "overloaded",
+        ServeError::DeadlineExceeded { .. } => "deadline",
+        ServeError::Query(_) => "query",
+        ServeError::Shutdown => "shutdown",
+    };
+    format!("err {kind}: {e}")
+}
+
+const PROTOCOL_HELP: &str =
+    "commands: test a,b,.. | next a,b,.. | page a,b,.. LIMIT | stats | metrics | help | quit";
+
+enum Reply {
+    Line(String),
+    Quit,
+}
+
+/// Execute one protocol line. Empty lines yield no reply; client mistakes
+/// come back as `err usage: ...` lines, never as connection drops.
+fn handle_command(pool: &ServerPool, line: &str) -> Option<Reply> {
+    let line = line.trim();
+    let (cmd, rest) = match line.split_once(char::is_whitespace) {
+        Some((c, r)) => (c, r.trim()),
+        None if line.is_empty() => return None,
+        None => (line, ""),
+    };
+    let reply = match cmd {
+        "quit" | "exit" => return Some(Reply::Quit),
+        "help" => PROTOCOL_HELP.to_string(),
+        "metrics" => pool.metrics_json(),
+        "stats" => pool.snapshot().stats().to_json(),
+        "test" | "next" => match parse_csv_tuple(rest) {
+            Ok(tuple) => {
+                let req = if cmd == "test" {
+                    Request::Test { tuple }
+                } else {
+                    Request::NextSolution { from: tuple }
+                };
+                match pool.call(req) {
+                    Ok(r) => fmt_response(r),
+                    Err(e) => fmt_serve_error(&e),
+                }
+            }
+            Err(e) => format!("err usage: {e}"),
+        },
+        "page" => {
+            let parsed = match rest.rsplit_once(char::is_whitespace) {
+                Some((tuple, limit)) => parse_csv_tuple(tuple.trim()).and_then(|from| {
+                    let limit: usize = limit
+                        .parse()
+                        .map_err(|e| usage(format!("bad page limit {limit:?}: {e}")))?;
+                    Ok((from, limit))
+                }),
+                None => Err(usage("expected: page a,b,.. LIMIT")),
+            };
+            match parsed {
+                Ok((from, limit)) => match pool.call(Request::EnumeratePage { from, limit }) {
+                    Ok(r) => fmt_response(r),
+                    Err(e) => fmt_serve_error(&e),
+                },
+                Err(e) => format!("err usage: {e}"),
+            }
+        }
+        other => format!("err usage: unknown command {other:?} ({PROTOCOL_HELP})"),
+    };
+    Some(Reply::Line(reply))
+}
+
+fn serve_stdin(pool: &ServerPool) -> Result<(), CliError> {
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| CliError::Io(format!("stdin: {e}")))?;
+        match handle_command(pool, &line) {
+            None => {}
+            Some(Reply::Quit) => break,
+            Some(Reply::Line(reply)) => {
+                writeln!(out, "{reply}").map_err(|e| CliError::Io(format!("stdout: {e}")))?;
+                out.flush()
+                    .map_err(|e| CliError::Io(format!("stdout: {e}")))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn serve_tcp(pool: Arc<ServerPool>, addr: &str) -> Result<(), CliError> {
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| CliError::Io(format!("bind {addr}: {e}")))?;
+    eprintln!(
+        "listening on {} ({})",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string()),
+        PROTOCOL_HELP
+    );
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            // A failed accept poisons nothing; keep serving other clients.
+            Err(e) => {
+                eprintln!("accept: {e}");
+                continue;
+            }
+        };
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".into());
+            let reader = std::io::BufReader::new(match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            });
+            let mut writer = std::io::BufWriter::new(stream);
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                match handle_command(&pool, &line) {
+                    None => continue,
+                    Some(Reply::Quit) => break,
+                    Some(Reply::Line(reply)) => {
+                        if writeln!(writer, "{reply}")
+                            .and_then(|_| writer.flush())
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            eprintln!("client {peer} disconnected");
+        });
+    }
+    Ok(())
+}
+
+fn cmd_serve(argv: Vec<String>) -> Result<(), CliError> {
+    let args = parse_serve_args(argv)?;
+    let snap = args.common.build_snapshot()?;
+    let opts = ServeOpts {
+        workers: args.workers,
+        admission: admission_budget(&args),
+    };
+    let pool = ServerPool::start(snap, &opts);
+    eprintln!("serving with {} workers; {}", pool.workers(), PROTOCOL_HELP);
+    match &args.listen {
+        None => serve_stdin(&pool),
+        Some(addr) => serve_tcp(Arc::new(pool), addr),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench-serve mode: closed-loop load generator
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Test,
+    Next,
+    Page,
+    Mixed,
+}
+
+impl Mix {
+    fn parse(s: &str) -> Result<Mix, CliError> {
+        match s {
+            "test" => Ok(Mix::Test),
+            "next" => Ok(Mix::Next),
+            "page" => Ok(Mix::Page),
+            "mixed" => Ok(Mix::Mixed),
+            other => Err(usage(format!(
+                "bad --mix {other:?}: expected test|next|page|mixed"
+            ))),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Mix::Test => "test",
+            Mix::Next => "next",
+            Mix::Page => "page",
+            Mix::Mixed => "mixed",
+        }
+    }
+}
+
+struct BenchArgs {
+    common: Common,
+    workers: Vec<usize>,
+    clients: usize,
+    batch: usize,
+    requests: u64,
+    mix: Mix,
+    page_limit: usize,
+    json: Option<String>,
+    smoke: bool,
+}
+
+fn parse_bench_args(argv: Vec<String>) -> Result<BenchArgs, CliError> {
+    let mut args = BenchArgs {
+        common: Common::new(),
+        workers: vec![1, 4],
+        clients: 8,
+        batch: 128,
+        requests: 200_000,
+        mix: Mix::Test,
+        page_limit: 32,
+        json: None,
+        smoke: false,
+    };
+    let mut requests_set = false;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        if args.common.try_parse_flag(&a, &mut it)? {
+            continue;
+        }
+        let mut val = |what: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("missing value for {what}")))
+        };
+        match a.as_str() {
+            "--workers" => {
+                args.workers = val("--workers")?
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse::<usize>()
+                            .map_err(|e| usage(format!("bad --workers entry {w:?}: {e}")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if args.workers.is_empty() || args.workers.contains(&0) {
+                    return Err(usage("--workers needs a comma list of positive counts"));
+                }
+            }
+            "--clients" => {
+                args.clients = val("--clients")?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --clients: {e}")))?
+            }
+            "--batch" => {
+                args.batch = val("--batch")?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --batch: {e}")))?
+            }
+            "--requests" => {
+                args.requests = val("--requests")?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --requests: {e}")))?;
+                requests_set = true;
+            }
+            "--mix" => args.mix = Mix::parse(&val("--mix")?)?,
+            "--page-limit" => {
+                args.page_limit = val("--page-limit")?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --page-limit: {e}")))?
+            }
+            "--json" => args.json = Some(val("--json")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(usage(format!("unknown argument {other:?}"))),
+        }
+    }
+    if args.clients == 0 || args.batch == 0 {
+        return Err(usage("--clients and --batch must be positive"));
+    }
+    if args.smoke && !requests_set {
+        args.requests = 40_000;
+    }
+    // A default workload so `ndq bench-serve` runs out of the box.
+    if args.common.graph_spec.is_none() && args.common.graph_file.is_none() {
+        args.common.graph_spec = Some(if args.smoke {
+            "grid:40x40".into()
+        } else {
+            "grid:60x60".into()
+        });
+        if args.common.colors.is_empty() {
+            args.common.colors.push("Blue:0.3:7".into());
+        }
+        if args.common.query.is_none() {
+            args.common.query = Some("dist(x,y) > 2 && Blue(y)".into());
+        }
+    }
+    Ok(args)
+}
+
+fn random_request(
+    state: &mut u64,
+    mix: Mix,
+    n: Vertex,
+    arity: usize,
+    page_limit: usize,
+) -> Request {
+    let tuple: Vec<Vertex> = (0..arity)
+        .map(|_| (splitmix64(state) % n.max(1) as u64) as Vertex)
+        .collect();
+    let kind = match mix {
+        Mix::Test => 0,
+        Mix::Next => 1,
+        Mix::Page => 2,
+        Mix::Mixed => splitmix64(state) % 3,
+    };
+    match kind {
+        0 => Request::Test { tuple },
+        1 => Request::NextSolution { from: tuple },
+        _ => Request::EnumeratePage {
+            from: tuple,
+            limit: page_limit,
+        },
+    }
+}
+
+struct BenchRun {
+    workers: usize,
+    completed: u64,
+    errors: u64,
+    elapsed: Duration,
+    throughput_rps: f64,
+    p50_ns: Option<u64>,
+    p95_ns: Option<u64>,
+    p99_ns: Option<u64>,
+}
+
+impl BenchRun {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("workers", self.workers as u64)
+            .field_u64("completed", self.completed)
+            .field_u64("errors", self.errors)
+            .field_f64("elapsed_s", self.elapsed.as_secs_f64())
+            .field_f64("throughput_rps", self.throughput_rps);
+        for (name, q) in [
+            ("p50_ns", self.p50_ns),
+            ("p95_ns", self.p95_ns),
+            ("p99_ns", self.p99_ns),
+        ] {
+            match q {
+                Some(ns) => o.field_u64(name, ns),
+                None => o.field_null(name),
+            };
+        }
+        o.finish()
+    }
+}
+
+fn bench_one(snap: &Snapshot, args: &BenchArgs, workers: usize) -> BenchRun {
+    let pool = Arc::new(ServerPool::start(
+        snap.clone(),
+        &ServeOpts {
+            workers,
+            admission: Budget::UNLIMITED,
+        },
+    ));
+    let n = snap.graph().n() as Vertex;
+    let arity = snap.arity();
+    let per_client = (args.requests / args.clients as u64).max(1);
+
+    // Pre-generate every batch so the timed section measures the serving
+    // runtime (submit → execute → respond), not the generator's
+    // allocation churn: constant-time probes are far cheaper than
+    // building their request objects.
+    let all_batches: Vec<Vec<Vec<Request>>> = (0..args.clients)
+        .map(|c| {
+            let mut state = 0x5eed_0000_0000_0000_u64 ^ (c as u64).wrapping_mul(0x9e37);
+            let mut batches = Vec::new();
+            let mut sent = 0u64;
+            while sent < per_client {
+                let b = args.batch.min((per_client - sent) as usize);
+                sent += b as u64;
+                batches.push(
+                    (0..b)
+                        .map(|_| random_request(&mut state, args.mix, n, arity, args.page_limit))
+                        .collect(),
+                );
+            }
+            batches
+        })
+        .collect();
+
+    let barrier = Arc::new(std::sync::Barrier::new(args.clients + 1));
+    let threads: Vec<_> = all_batches
+        .into_iter()
+        .map(|batches| {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let (mut ok, mut err) = (0u64, 0u64);
+                // Closed loop: one outstanding batch per client.
+                for reqs in batches {
+                    let b = reqs.len() as u64;
+                    match pool.submit(reqs) {
+                        Ok(h) => {
+                            for r in h.wait() {
+                                if r.is_ok() {
+                                    ok += 1;
+                                } else {
+                                    err += 1;
+                                }
+                            }
+                        }
+                        Err(_) => err += b,
+                    }
+                }
+                (ok, err)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let (mut completed, mut errors) = (0u64, 0u64);
+    for t in threads {
+        let (ok, err) = t.join().expect("bench client thread panicked");
+        completed += ok;
+        errors += err;
+    }
+    let elapsed = t0.elapsed();
+
+    // Percentiles across all request kinds: merge the per-kind histograms.
+    let m = pool.metrics_snapshot();
+    let mut merged = [0u64; HISTOGRAM_BUCKETS];
+    for k in &m.kinds {
+        for (dst, src) in merged.iter_mut().zip(k.latency.counts.iter()) {
+            *dst += src;
+        }
+    }
+    let hist = HistogramSnapshot { counts: merged };
+    BenchRun {
+        workers,
+        completed,
+        errors,
+        elapsed,
+        throughput_rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ns: hist.quantile_ns(0.50),
+        p95_ns: hist.quantile_ns(0.95),
+        p99_ns: hist.quantile_ns(0.99),
+    }
+}
+
+fn cmd_bench_serve(argv: Vec<String>) -> Result<(), CliError> {
+    let args = parse_bench_args(argv)?;
+    let snap = args.common.build_snapshot()?;
+    eprintln!(
+        "bench: {} requests/run, {} clients, batch {}, mix {}",
+        args.requests,
+        args.clients,
+        args.batch,
+        args.mix.name()
+    );
+
+    println!(
+        "{:>7}  {:>10}  {:>9}  {:>14}  {:>9}  {:>9}  {:>9}",
+        "workers", "completed", "elapsed_s", "throughput_rps", "p50_ns", "p95_ns", "p99_ns"
+    );
+    let mut runs: Vec<BenchRun> = Vec::new();
+    for &w in &args.workers {
+        let r = bench_one(&snap, &args, w);
+        let fmt_q = |q: Option<u64>| q.map_or_else(|| "-".into(), |v| v.to_string());
+        println!(
+            "{:>7}  {:>10}  {:>9.3}  {:>14.0}  {:>9}  {:>9}  {:>9}",
+            r.workers,
+            r.completed,
+            r.elapsed.as_secs_f64(),
+            r.throughput_rps,
+            fmt_q(r.p50_ns),
+            fmt_q(r.p95_ns),
+            fmt_q(r.p99_ns),
+        );
+        runs.push(r);
+    }
+
+    // Scaling headline: best multi-worker run vs the single-worker run.
+    // Worker scaling needs cores to scale onto — on a single-core host
+    // extra workers can only tie, so say so instead of crying regression.
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let single = runs.iter().find(|r| r.workers == 1);
+    let multi = runs
+        .iter()
+        .filter(|r| r.workers >= 4)
+        .max_by(|a, b| a.throughput_rps.total_cmp(&b.throughput_rps));
+    let mut speedup = None;
+    if let (Some(s), Some(m)) = (single, multi) {
+        let x = m.throughput_rps / s.throughput_rps.max(1e-9);
+        speedup = Some((m.workers, x));
+        let verdict = if x > 1.0 {
+            ""
+        } else if cores < 2 {
+            "  [single-core host: no parallel speedup possible]"
+        } else {
+            "  [NO SCALING]"
+        };
+        println!(
+            "speedup: {x:.2}x ({} workers vs 1, {cores} cores){verdict}",
+            m.workers
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mut arr = JsonArray::new();
+        for r in &runs {
+            arr.push_raw(&r.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.field_str("bench", "serve")
+            .field_u64("host_cores", cores as u64)
+            .field_u64("graph_n", snap.graph().n() as u64)
+            .field_u64("graph_m", snap.graph().m() as u64)
+            .field_str("query", snap.query_src())
+            .field_str("mix", args.mix.name())
+            .field_u64("clients", args.clients as u64)
+            .field_u64("batch", args.batch as u64)
+            .field_u64("requests_per_run", args.requests)
+            .field_u64("prepare_ms", snap.build_ms())
+            .field_raw("runs", &arr.finish());
+        match speedup {
+            Some((w, x)) => {
+                o.field_u64("speedup_workers", w as u64)
+                    .field_f64("speedup_vs_1", x);
+            }
+            None => {
+                o.field_null("speedup_vs_1");
+            }
+        }
+        std::fs::write(path, o.finish() + "\n")
+            .map_err(|e| CliError::Io(format!("write {path}: {e}")))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+
 fn main() -> ExitCode {
-    match run() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("serve") => cmd_serve(argv.split_off(1)),
+        Some("bench-serve") => cmd_bench_serve(argv.split_off(1)),
+        _ => cmd_query(argv),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -16,6 +16,8 @@
 //! * [`core`] — distance oracles (Prop 4.2), skip pointers (Lemma 5.8) and
 //!   the main `PreparedQuery` machinery (Thm 2.3, Cor 2.4, Cor 2.5).
 //! * [`baseline`] — naive baselines used in the experiment harness.
+//! * [`serve`] — the concurrent query-serving runtime: shared snapshots,
+//!   a work-stealing pool, admission control and metrics.
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the claim-by-claim
 //! empirical validation.
@@ -25,6 +27,7 @@ pub use nd_core as core;
 pub use nd_cover as cover;
 pub use nd_graph as graph;
 pub use nd_logic as logic;
+pub use nd_serve as serve;
 pub use nd_splitter as splitter;
 pub use nd_store as store;
 
