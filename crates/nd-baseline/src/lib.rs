@@ -150,6 +150,39 @@ impl MaterializingEnumerator {
     pub fn iter(&self) -> impl Iterator<Item = &Vec<Vertex>> {
         self.solutions.iter()
     }
+
+    /// The full solution set, sorted lexicographically and duplicate-free
+    /// (the order `materialize` guarantees). This is the reference answer
+    /// the conformance harness diffs every engine against.
+    pub fn solutions(&self) -> &[Vec<Vertex>] {
+        &self.solutions
+    }
+
+    /// `ā ∈ q(G)`? — by binary search over the materialized set.
+    pub fn test(&self, tuple: &[Vertex]) -> bool {
+        self.solutions
+            .binary_search_by(|s| s.as_slice().cmp(tuple))
+            .is_ok()
+    }
+
+    /// The lexicographically smallest solution `≥ from`, or `None` — the
+    /// same contract as `PreparedQuery::next_solution`, answered by
+    /// partition point.
+    pub fn next_solution(&self, from: &[Vertex]) -> Option<Vec<Vertex>> {
+        let i = self.solutions.partition_point(|s| s.as_slice() < from);
+        self.solutions.get(i).cloned()
+    }
+
+    /// Up to `limit` solutions `≥ from`, in lexicographic order — the same
+    /// contract as `PreparedQuery::page`.
+    pub fn page(&self, from: &[Vertex], limit: usize) -> Vec<Vec<Vertex>> {
+        let i = self.solutions.partition_point(|s| s.as_slice() < from);
+        self.solutions[i..].iter().take(limit).cloned().collect()
+    }
+
+    pub fn count(&self) -> usize {
+        self.solutions.len()
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +234,41 @@ mod tests {
         let t = NaiveTester::new(&g, parse_query("Blue(x) && E(x,y)").unwrap());
         assert!(t.test(&[0, 1]));
         assert!(!t.test(&[1, 2]));
+    }
+
+    #[test]
+    fn materialized_oracle_accessors() {
+        let g = blue_path(10);
+        let q = parse_query("Blue(x) && dist(x,y) <= 2").unwrap();
+        let mat = MaterializingEnumerator::prepare(&g, &q);
+        assert_eq!(mat.count(), mat.solutions().len());
+        for s in mat.solutions() {
+            assert!(mat.test(s));
+            assert_eq!(mat.next_solution(s).as_deref(), Some(s.as_slice()));
+        }
+        assert!(!mat.test(&[1, 1]));
+        // next_solution from the very bottom is the first solution; from
+        // beyond the last it is None.
+        assert_eq!(
+            mat.next_solution(&[0, 0]).as_deref(),
+            mat.solutions().first().map(|s| s.as_slice())
+        );
+        assert_eq!(mat.next_solution(&[9, 10]), None);
+        // Paging reassembles the full stream.
+        let mut pages = Vec::new();
+        let mut from = vec![0, 0];
+        loop {
+            let page = mat.page(&from, 3);
+            let done = page.len() < 3;
+            pages.extend(page);
+            if done {
+                break;
+            }
+            let mut next = pages.last().unwrap().clone();
+            *next.last_mut().unwrap() += 1; // lex increment within range
+            from = next;
+        }
+        assert_eq!(pages, mat.solutions());
     }
 
     #[test]

@@ -94,6 +94,9 @@ fn main() {
     if want("a5") {
         a5_serving(&cfg);
     }
+    if want("a6") {
+        a6_conform(&cfg);
+    }
 }
 
 /// E1 — Storing Theorem (Thm 3.1): init ~ |Dom|·n^ε, lookup flat in n.
@@ -890,5 +893,61 @@ fn a5_serving(cfg: &Config) {
                 };
             });
         }
+    }
+}
+
+/// A6 — conformance throughput: the differential harness as an experiment.
+/// Reports how many engine configurations and probes per second the
+/// harness covers, per seed — and loudly fails the table if any
+/// configuration ever disagrees with the naive-semantics oracle.
+fn a6_conform(cfg: &Config) {
+    use nd_conform::{protocol_fuzz, run, ConformOpts};
+
+    println!("\n[A6] conformance: all engine configs vs the naive oracle");
+    let t = Table::new(
+        &[
+            "seed", "cases", "configs", "probes", "skipped", "disagree", "time",
+        ],
+        &[6, 7, 8, 9, 8, 9, 9],
+    );
+    let cases = if cfg.quick { 40 } else { 200 };
+    for seed in [42u64, 7, 0xbeef] {
+        let opts = ConformOpts {
+            seed,
+            cases,
+            ..ConformOpts::default()
+        };
+        let t0 = Instant::now();
+        let mut report = run(&opts);
+        let fuzz = protocol_fuzz::fuzz_protocol(seed, 200);
+        report.probes += fuzz.probes;
+        report.disagreements.extend(fuzz.disagreements);
+        let dt = t0.elapsed();
+        t.row(&[
+            format!("{seed}"),
+            format!("{cases}"),
+            format!("{}", report.configs_checked),
+            format!("{}", report.probes),
+            format!("{}", report.skipped),
+            format!("{}", report.disagreements.len()),
+            fmt_dur(dt),
+        ]);
+        emit_json(cfg.json, "a6", |o| {
+            o.field_u64("seed", seed)
+                .field_u64("cases", cases as u64)
+                .field_u64("configs_checked", report.configs_checked)
+                .field_u64("probes", report.probes)
+                .field_u64("skipped", report.skipped)
+                .field_u64("disagreements", report.disagreements.len() as u64)
+                .field_bool("ok", report.disagreements.is_empty())
+                .field_f64("secs", dt.as_secs_f64());
+        });
+        for d in &report.disagreements {
+            println!("  DISAGREEMENT {}", d.to_json());
+        }
+        assert!(
+            report.disagreements.is_empty(),
+            "A6: conformance disagreements found (seed {seed})"
+        );
     }
 }

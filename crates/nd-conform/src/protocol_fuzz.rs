@@ -1,0 +1,244 @@
+//! Deterministic fuzzing of the `nd-serve` line protocol.
+//!
+//! The conformance harness proper ([`crate::run`]) drives the protocol
+//! with *well-formed* requests and diffs the answers. This module attacks
+//! the other half of the serving contract — robustness:
+//!
+//! * any byte soup on a line yields an `err usage: ...` reply, never a
+//!   panic, never a dropped session;
+//! * `quit`/`exit` terminate, blank lines are silently ignored;
+//! * admission control and deadlines fail *typed and deterministic*: a
+//!   zero-capacity pool answers `err overloaded:`, a zero-deadline pool
+//!   answers `err deadline:` — exercised without any real timing races
+//!   (the deadline is expired at submit time by construction).
+//!
+//! Everything is seeded: the same `(seed, iterations)` replays the same
+//! byte sequences, so a failure is a reproduction recipe.
+
+use crate::{ConformReport, Disagreement};
+use nd_core::{Budget, PrepareOpts};
+use nd_graph::generators;
+use nd_logic::parse_query;
+use nd_serve::protocol::{handle_command, Reply};
+use nd_serve::{ServeOpts, ServerPool, Snapshot};
+use std::time::Duration;
+
+/// splitmix64, same stream discipline as the main harness.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+fn fixture_pool(admission: Budget) -> ServerPool {
+    let mut g = generators::cycle(12);
+    g.add_color(vec![0, 3, 6, 9], Some("Blue".into()));
+    let q = parse_query("Blue(x) && dist(x,y) <= 2").unwrap();
+    let snapshot =
+        Snapshot::build_owned(g, &q, &PrepareOpts::default()).expect("fixture must prepare");
+    ServerPool::start(
+        snapshot,
+        &ServeOpts {
+            workers: 1,
+            admission,
+        },
+    )
+}
+
+/// One seeded protocol line: valid commands, near-valid mutations, and
+/// raw junk, in roughly equal measure.
+fn random_line(s: &mut Stream) -> String {
+    match s.below(12) {
+        0 => format!("test {},{}", s.below(12), s.below(12)),
+        1 => format!("next {},{}", s.below(12), s.below(12)),
+        2 => format!("page {},{} {}", s.below(12), s.below(12), s.below(5)),
+        3 => "stats".into(),
+        4 => "metrics".into(),
+        5 => "help".into(),
+        6 => String::new(),
+        // Near-valid mutations: wrong arity, negative and overflowing
+        // components, missing or trailing arguments, wrong separators.
+        7 => format!("test {}", s.below(12)),
+        8 => "next -1,3".into(),
+        9 => format!("page {},{}", s.below(12), s.below(12)),
+        10 => format!("test {},{}", u64::MAX, s.below(12)),
+        // Raw junk: seeded printable noise (never `quit` — session length
+        // is part of the determinism contract).
+        _ => {
+            let len = 1 + s.below(10) as usize;
+            (0..len)
+                .map(|_| char::from(b' ' + (s.below(94) as u8)))
+                .collect()
+        }
+    }
+}
+
+/// Classify a reply line for the robustness contract.
+fn violates_contract(line: &str, reply: &Option<Reply>) -> Option<String> {
+    let trimmed = line.trim();
+    match reply {
+        None if trimmed.is_empty() => None,
+        None => Some(format!("line {line:?} silently swallowed")),
+        Some(Reply::Quit) => Some(format!("line {line:?} unexpectedly ended the session")),
+        Some(Reply::Line(r)) => {
+            // Every reply is a single line (the framing invariant).
+            if r.contains('\n') {
+                return Some(format!("multi-line reply to {line:?}: {r:?}"));
+            }
+            // A well-formed probe on the unlimited fixture must succeed.
+            let in_range_pair = |t: &str| {
+                nd_serve::protocol::parse_csv_tuple(t)
+                    .is_ok_and(|v| v.len() == 2 && v.iter().all(|&x| (x as usize) < 12))
+            };
+            let well_formed = matches!(
+                trimmed.split(' ').next(),
+                Some("stats" | "metrics" | "help")
+            ) || (trimmed.starts_with("test ") || trimmed.starts_with("next "))
+                && trimmed
+                    .split_once(' ')
+                    .is_some_and(|(_, t)| in_range_pair(t));
+            if well_formed && r.starts_with("err") {
+                return Some(format!("well-formed {line:?} rejected: {r}"));
+            }
+            None
+        }
+    }
+}
+
+/// Fuzz the protocol for `iterations` seeded lines; every contract
+/// violation becomes a [`Disagreement`] with config `protocol-fuzz`.
+pub fn fuzz_protocol(seed: u64, iterations: usize) -> ConformReport {
+    let mut s = Stream(seed);
+    let mut report = ConformReport {
+        seed,
+        cases: iterations,
+        ..ConformReport::default()
+    };
+    let pool = fixture_pool(Budget::UNLIMITED);
+    report.configs_checked += 1;
+
+    for _ in 0..iterations {
+        let line = random_line(&mut s);
+        let reply = handle_command(&pool, &line);
+        report.probes += 1;
+        if let Some(detail) = violates_contract(&line, &reply) {
+            report.disagreements.push(Disagreement {
+                case_seed: seed,
+                config: "protocol-fuzz".into(),
+                check: "robustness".into(),
+                graph: "cycle(12)".into(),
+                query: "Blue(x) && dist(x,y) <= 2".into(),
+                minimized: Some(line.clone()),
+                detail,
+            });
+        }
+    }
+
+    // Session-control edge cases.
+    for (line, want_quit) in [("quit", true), ("exit", true), ("  quit  ", true)] {
+        report.probes += 1;
+        let got_quit = matches!(handle_command(&pool, line), Some(Reply::Quit));
+        if got_quit != want_quit {
+            report.disagreements.push(protocol_failure(
+                seed,
+                line,
+                format!("quit handling: got_quit={got_quit}"),
+            ));
+        }
+    }
+
+    // Deterministic overload: zero admission capacity rejects every
+    // probe at submit, before any worker runs.
+    let overloaded = fixture_pool(Budget::UNLIMITED.with_node_expansions(0));
+    report.configs_checked += 1;
+    for line in ["test 0,1", "next 0,0", "page 0,0 3"] {
+        report.probes += 1;
+        match handle_command(&overloaded, line) {
+            Some(Reply::Line(r)) if r.starts_with("err overloaded:") => {}
+            other => report.disagreements.push(protocol_failure(
+                seed,
+                line,
+                format!("expected err overloaded, got {:?}", render(other)),
+            )),
+        }
+    }
+
+    // Deterministic deadline: a zero default deadline is already expired
+    // when the worker dequeues the job (`now >= now`), with no sleeping
+    // and no race.
+    let expired = fixture_pool(Budget::UNLIMITED.with_wall_clock(Duration::ZERO));
+    report.configs_checked += 1;
+    for line in ["test 0,1", "page 0,0 2"] {
+        report.probes += 1;
+        match handle_command(&expired, line) {
+            Some(Reply::Line(r)) if r.starts_with("err deadline:") => {}
+            other => report.disagreements.push(protocol_failure(
+                seed,
+                line,
+                format!("expected err deadline, got {:?}", render(other)),
+            )),
+        }
+    }
+
+    report
+}
+
+fn render(r: Option<Reply>) -> String {
+    match r {
+        None => "<no reply>".into(),
+        Some(Reply::Quit) => "<quit>".into(),
+        Some(Reply::Line(l)) => l,
+    }
+}
+
+fn protocol_failure(seed: u64, line: &str, detail: String) -> Disagreement {
+    Disagreement {
+        case_seed: seed,
+        config: "protocol-fuzz".into(),
+        check: "robustness".into(),
+        graph: "cycle(12)".into(),
+        query: "Blue(x) && dist(x,y) <= 2".into(),
+        minimized: Some(line.to_string()),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzzer_is_clean_and_deterministic() {
+        let a = fuzz_protocol(1234, 200);
+        assert!(a.ok(), "violations: {:?}", a.disagreements);
+        assert_eq!(a.probes, fuzz_protocol(1234, 200).probes);
+    }
+
+    #[test]
+    fn junk_lines_never_kill_the_session() {
+        let pool = fixture_pool(Budget::UNLIMITED);
+        for junk in [
+            "!!!",
+            "test",
+            "page 1 2 3 4",
+            "TEST 0,1",
+            "next ,",
+            "\u{7f}",
+        ] {
+            match handle_command(&pool, junk) {
+                Some(Reply::Line(r)) => assert!(r.starts_with("err"), "{junk:?} -> {r}"),
+                other => panic!("{junk:?} -> {:?}", render(other)),
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Named regression corpus.
+//!
+//! Each entry pins one case seed the harness must stay clean on. The
+//! names describe what the case exercises (verify with
+//! `nd_conform::describe_case(seed, MAX_N)`); the seeds were curated from
+//! the `seed=42` run stream, biased toward the constructs that have the
+//! most cross-engine surface: unions, non-fragment fallback, far
+//! (`dist > d`) constraints, degenerate arities, and dummy variables.
+//!
+//! Workflow: when `ndq conform` reports a disagreement, fix the engine,
+//! then add the `case_seed` from the report here with a name saying what
+//! broke. The corpus only grows.
+
+use nd_conform::{describe_case, run_case};
+
+/// `max_n` the corpus seeds were curated under — part of the seed's
+/// meaning (graph sizes derive from it), so it must not drift.
+const MAX_N: usize = 28;
+
+const CORPUS: &[(&str, u64)] = &[
+    // Union whose second branch holds a common-neighbor pattern outside
+    // the distance-type fragment: exercises the naive-fallback rung
+    // against indexed branches in one query.
+    ("union-nonfragment-fallback", 0xbdd732262feb6e95),
+    // Arity-3 pure negation !E(v0,v2) on a path: dense answer set, dummy
+    // middle variable.
+    ("negated-edge-triple", 0x2f5c8fa3624ea1a7),
+    // Common-neighbor pattern centered on a star hub (every pair shares
+    // the hub): fallback with maximal witness overlap.
+    ("star-common-neighbor", 0x9f6acaf728beb1dd),
+    // Arity-0 trivial sentence: the empty-tuple fast paths.
+    ("boolean-true-sentence", 0x7fea7c8adc81c8da),
+    // Conjunction of far constraints (dist > 3, dist > 2) at arity 3:
+    // skip-pointer territory.
+    ("far-distance-conjunction", 0xabcf8f8e7be53925),
+    // Union of a far branch and a guarded near branch on a cycle: the
+    // multi-branch next_solution merge.
+    ("union-far-near-cycle", 0x6c747bb513432b0a),
+    // Plain E(x,y) on a long cycle: the simplest binary query, largest
+    // per-vertex symmetry.
+    ("plain-edge-cycle", 0x87648f6d93ada5e7),
+    // `true` at arity 2: enumeration must walk the full n² lattice.
+    ("universal-pair", 0x722a5b763a74823d),
+    // Boolean `exists Blue` sentence: arity-0 with real evaluation.
+    ("boolean-exists", 0xb51e56b31a920b87),
+    // Red(v0) at arity 2: v1 is unconstrained (a dummy answer variable),
+    // so every solution fans out n ways.
+    ("dummy-free-variable", 0x5464a5c73eac3ad8),
+    // Wide 2-branch union at arity 3 on a star: guarded unaries plus
+    // distance mix, branch answer sets overlap heavily.
+    ("star-wide-union", 0xd0c9913203415720),
+    // Far constraint on a bounded-degree expander-ish graph: the
+    // kernel/skip machinery with non-trivial cover bags.
+    ("far-bounded-degree", 0x36b50032ffaa6cab),
+];
+
+#[test]
+fn corpus_stays_clean() {
+    for &(name, seed) in CORPUS {
+        // serve=true: the corpus also drives the wire protocol on every
+        // arity ≥ 1 case. shrink=true so a regression arrives minimized.
+        let outcome = run_case(seed, MAX_N, true, true);
+        assert!(
+            outcome.disagreements.is_empty(),
+            "regression {name:?} ({}):\n{:#?}",
+            describe_case(seed, MAX_N),
+            outcome.disagreements
+        );
+        assert!(outcome.configs_checked > 0, "{name}: nothing ran");
+    }
+}
+
+#[test]
+fn corpus_names_are_unique() {
+    let mut names: Vec<&str> = CORPUS.iter().map(|&(n, _)| n).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), CORPUS.len(), "duplicate corpus names");
+}
+
+#[test]
+fn protocol_fuzz_regression_seeds() {
+    for seed in [42, fuzz_u64(), 7] {
+        let report = nd_conform::protocol_fuzz::fuzz_protocol(seed, 150);
+        assert!(report.ok(), "seed {seed}: {:?}", report.disagreements);
+    }
+}
+
+/// A fixed historical seed, spelled as a function to keep the array
+/// literal readable.
+fn fuzz_u64() -> u64 {
+    0x1ee7_5eed_f422_0001
+}

@@ -1,0 +1,69 @@
+//! The harness must catch bugs, not just bless agreement.
+//!
+//! This test arms the `sabotage` feature's flipped-lex defect in nd-core
+//! (multi-branch `next_solution` merged with `max` instead of `min` — a
+//! realistic order-comparison bug that hides on single-branch queries)
+//! and asserts the conformance run reports it, minimized and
+//! seed-reproducible.
+//!
+//! Isolated in its own integration-test binary: the sabotage switch is a
+//! process-global atomic, and sibling tests in the same process would
+//! otherwise observe the armed engine.
+
+use nd_conform::{run, run_case, ConformOpts};
+use nd_core::sabotage::FlipLexGuard;
+
+#[test]
+fn flipped_lex_is_caught_minimized_and_reproducible() {
+    let opts = ConformOpts {
+        seed: 42,
+        cases: 20,
+        max_n: 28,
+        serve_every: 0,
+        shrink: true,
+    };
+
+    // Sanity: with the defect disarmed the same run is clean — whatever
+    // the armed run reports is the injected bug, not ambient noise.
+    let clean = run(&opts);
+    assert!(clean.ok(), "baseline run dirty: {:?}", clean.disagreements);
+
+    let guard = FlipLexGuard::new();
+    let report = run(&opts);
+    assert!(
+        !report.ok(),
+        "the harness failed to catch the flipped-lex engine bug"
+    );
+    // The defect lives in the indexed next_solution merge: every report
+    // must come from a configuration backed by the indexed engine — never
+    // from `naive-stream` or the oracle, which the switch does not touch.
+    for d in &report.disagreements {
+        assert_ne!(d.config, "naive-stream", "unexpected config: {d:?}");
+        assert_ne!(d.config, "serve-protocol", "unexpected config: {d:?}");
+    }
+    // At least one counterexample shrank to something strictly smaller.
+    assert!(
+        report.disagreements.iter().any(|d| d.minimized.is_some()),
+        "no disagreement shrank: {:?}",
+        report.disagreements
+    );
+
+    // Seed-reproducibility: replaying any reported case seed, in
+    // isolation and without shrinking, reproduces a disagreement.
+    let d = &report.disagreements[0];
+    let replay = run_case(d.case_seed, opts.max_n, false, false);
+    assert!(
+        !replay.disagreements.is_empty(),
+        "case seed {:#x} did not reproduce",
+        d.case_seed
+    );
+
+    // Disarming restores exact agreement.
+    drop(guard);
+    let healed = run_case(d.case_seed, opts.max_n, false, false);
+    assert!(
+        healed.disagreements.is_empty(),
+        "disarmed engine still disagrees: {:?}",
+        healed.disagreements
+    );
+}

@@ -506,7 +506,14 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
         }
         let g = self.g.borrow();
         Ok(match &self.engine {
-            EngineImpl::Indexed(bs) => bs.iter().filter_map(|b| b.next_solution(g, from)).min(),
+            EngineImpl::Indexed(bs) => {
+                let candidates = bs.iter().filter_map(|b| b.next_solution(g, from));
+                #[cfg(feature = "sabotage")]
+                if crate::sabotage::flip_lex() {
+                    return Ok(candidates.max());
+                }
+                candidates.min()
+            }
             EngineImpl::Naive(n) => n.next_solution(from),
         })
     }

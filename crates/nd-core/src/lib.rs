@@ -36,6 +36,8 @@ pub mod engine;
 pub mod error;
 pub mod independence;
 pub mod removal;
+#[cfg(feature = "sabotage")]
+pub mod sabotage;
 pub mod skip;
 
 pub use dist::DistOracle;

@@ -1,0 +1,136 @@
+//! `Enumerate` as a std iterator: fusedness, `size_hint` honesty, and
+//! `enumerate_from` at the boundaries of the probe lattice (lex-maximal
+//! tuple, arity 0, empty graph).
+
+use nd_core::{PrepareOpts, PreparedQuery};
+use nd_graph::{generators, ColoredGraph, Vertex};
+use nd_logic::eval::materialize;
+use nd_logic::parse_query;
+
+fn blue(mut g: ColoredGraph, every: u32) -> ColoredGraph {
+    let n = g.n() as Vertex;
+    g.add_color(
+        (0..n).filter(|v| v % every == 0).collect(),
+        Some("Blue".into()),
+    );
+    g
+}
+
+fn prepared<'a>(g: &'a ColoredGraph, src: &str) -> PreparedQuery<&'a ColoredGraph> {
+    let q = parse_query(src).unwrap();
+    PreparedQuery::prepare(g, &q, &PrepareOpts::default()).unwrap()
+}
+
+#[test]
+fn fused_after_none() {
+    let g = blue(generators::path(12), 4);
+    for src in [
+        "Blue(x)",
+        "Blue(x) && dist(x,y) <= 2",
+        "E(x,y) || Blue(x) && Blue(y)",
+    ] {
+        let pq = prepared(&g, src);
+        let mut it = pq.enumerate();
+        let drained = it.by_ref().count();
+        assert_eq!(drained, materialize(&g, &parse_query(src).unwrap()).len());
+        // Fused contract: every poll after exhaustion stays `None` and the
+        // size hint pins to exactly zero.
+        for _ in 0..5 {
+            assert_eq!(it.next(), None, "{src}");
+            assert_eq!(it.size_hint(), (0, Some(0)), "{src}");
+        }
+    }
+}
+
+#[test]
+fn size_hint_is_sound_throughout() {
+    let g = blue(generators::grid(4, 4), 2);
+    let pq = prepared(&g, "Blue(x) && E(x,y)");
+    let total = pq.count();
+    let mut it = pq.enumerate();
+    let mut remaining = total;
+    loop {
+        let (lo, hi) = it.size_hint();
+        assert!(lo <= remaining, "lower bound {lo} overshoots {remaining}");
+        if let Some(hi) = hi {
+            assert!(remaining <= hi, "upper bound {hi} undershoots {remaining}");
+        }
+        if it.next().is_none() {
+            assert_eq!(remaining, 0);
+            break;
+        }
+        remaining -= 1;
+    }
+}
+
+#[test]
+fn boolean_query_yields_one_empty_tuple() {
+    let g = blue(generators::path(6), 1);
+    // A true sentence: exactly one empty solution, exact size hints.
+    let pq = prepared(&g, "exists u. Blue(u)");
+    assert_eq!(pq.arity(), 0);
+    let mut it = pq.enumerate();
+    assert_eq!(it.size_hint(), (1, Some(1)));
+    assert_eq!(it.next(), Some(vec![]));
+    assert_eq!(it.size_hint(), (0, Some(0)));
+    assert_eq!(it.next(), None);
+    assert_eq!(it.next(), None);
+
+    // A false sentence: exhausted from the start.
+    let mut g2 = generators::path(6);
+    g2.add_color(vec![], Some("Red".into()));
+    let pq2 = prepared(&g2, "exists u. Red(u)");
+    let mut it2 = pq2.enumerate();
+    assert_eq!(it2.size_hint(), (0, Some(0)));
+    assert_eq!(it2.next(), None);
+}
+
+#[test]
+fn enumerate_from_resumes_mid_stream() {
+    let g = blue(generators::cycle(14), 3);
+    let src = "Blue(x) && dist(x,y) <= 3";
+    let pq = prepared(&g, src);
+    let all: Vec<Vec<Vertex>> = pq.enumerate().collect();
+    assert_eq!(all, materialize(&g, &parse_query(src).unwrap()));
+    // Resuming from any solution replays exactly the suffix from it.
+    for (i, t) in all.iter().enumerate() {
+        let suffix: Vec<Vec<Vertex>> = pq.enumerate_from(t).unwrap().collect();
+        assert_eq!(suffix, all[i..], "resume at {t:?}");
+    }
+}
+
+#[test]
+fn enumerate_from_lex_maximal_tuple() {
+    let g = blue(generators::path(9), 2);
+    let n = g.n() as Vertex;
+    let pq = prepared(&g, "Blue(x) && dist(x,y) <= 2");
+    let top = vec![n - 1, n - 1];
+    let mut it = pq.enumerate_from(&top).unwrap();
+    // `[n-1, n-1]` is the last point of the probe lattice: the stream holds
+    // it iff it is a solution, and is empty otherwise.
+    let expect = if pq.test(&top) {
+        vec![top.clone()]
+    } else {
+        vec![]
+    };
+    assert_eq!(it.by_ref().collect::<Vec<_>>(), expect);
+    assert_eq!(it.next(), None);
+    assert_eq!(it.size_hint(), (0, Some(0)));
+
+    // Beyond-range components mean "no successor in this subrange" and must
+    // not panic — the probe is clamped by next_solution's contract.
+    assert_eq!(pq.enumerate_from(&[n, 0]).unwrap().count(), 0);
+}
+
+#[test]
+fn enumerate_from_validates_probe_arity() {
+    let g = blue(generators::path(5), 2);
+    let pq = prepared(&g, "Blue(x) && E(x,y)");
+    assert!(pq.enumerate_from(&[0]).is_err());
+    assert!(pq.enumerate_from(&[0, 0, 0]).is_err());
+    // Same contract on the empty graph, where the fast path short-circuits.
+    let empty = nd_graph::GraphBuilder::new(0).build();
+    let pq0 = prepared(&empty, "E(x,y)");
+    assert!(pq0.enumerate_from(&[0]).is_err());
+    assert_eq!(pq0.enumerate_from(&[0, 0]).unwrap().count(), 0);
+}

@@ -285,6 +285,85 @@ pub fn with_random_colors(
     g
 }
 
+// ---------------------------------------------------------------------
+// Metamorphic transforms (conformance testing).
+//
+// These are not graph *families* but seeded, structure-preserving (or
+// deliberately structure-shrinking) rewrites of an existing instance. The
+// `nd-conform` harness uses them to state invariants no single engine run
+// can check: FO answers are equivariant under relabeling, and monotone
+// queries only lose answers under vertex deletion.
+// ---------------------------------------------------------------------
+
+/// A seeded uniform permutation of `0..n` (Fisher–Yates over splitmix64).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<Vertex> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut perm: Vec<Vertex> = (0..n as Vertex).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Relabel `g` by `perm`: vertex `v` of the input becomes `perm[v]` of the
+/// output. Edges and colors (including names) are carried over, so for any
+/// FO query `q`, `t ∈ q(g)` iff `perm(t) ∈ q(permuted(g, perm))`.
+///
+/// `perm` must be a permutation of `0..g.n()` (checked).
+pub fn permuted(g: &ColoredGraph, perm: &[Vertex]) -> ColoredGraph {
+    assert_eq!(perm.len(), g.n(), "permutation length mismatch");
+    let mut seen = vec![false; g.n()];
+    for &p in perm {
+        assert!(
+            (p as usize) < g.n() && !std::mem::replace(&mut seen[p as usize], true),
+            "not a permutation"
+        );
+    }
+    let mut b = GraphBuilder::new(g.n());
+    for (u, v) in g.edges() {
+        b.add_edge(perm[u as usize], perm[v as usize]);
+    }
+    let mut out = b.build();
+    for c in 0..g.num_colors() {
+        let id = crate::graph::ColorId(c as u32);
+        let members = g
+            .color_members(id)
+            .iter()
+            .map(|&v| perm[v as usize])
+            .collect();
+        out.add_color(members, g.color_name(id).map(str::to_owned));
+    }
+    out
+}
+
+/// Delete vertex `v`: the induced subgraph on the remaining vertices, with
+/// ids compacted (`w > v` becomes `w - 1`) and colors carried over. The
+/// compaction map is order-preserving, so lexicographic comparisons of
+/// answer tuples survive the translation.
+pub fn remove_vertex(g: &ColoredGraph, v: Vertex) -> ColoredGraph {
+    assert!((v as usize) < g.n(), "vertex out of range");
+    let shift = |w: Vertex| if w > v { w - 1 } else { w };
+    let mut b = GraphBuilder::new(g.n() - 1);
+    for (x, y) in g.edges() {
+        if x != v && y != v {
+            b.add_edge(shift(x), shift(y));
+        }
+    }
+    let mut out = b.build();
+    for c in 0..g.num_colors() {
+        let id = crate::graph::ColorId(c as u32);
+        let members = g
+            .color_members(id)
+            .iter()
+            .filter(|&&w| w != v)
+            .map(|&w| shift(w))
+            .collect();
+        out.add_color(members, g.color_name(id).map(str::to_owned));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +445,47 @@ mod tests {
         assert!(g.max_degree() as f64 > 4.0 * mean, "no hubs emerged");
         // Connected by construction (every vertex attaches to an earlier one).
         assert_eq!(crate::bfs::ball(&g, 0, 1_000).len(), 500);
+    }
+
+    #[test]
+    fn permutation_is_uniformly_valid() {
+        for seed in 0..5 {
+            let p = random_permutation(40, seed);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+        }
+        assert_ne!(random_permutation(40, 1), random_permutation(40, 2));
+    }
+
+    #[test]
+    fn permuted_preserves_structure() {
+        let mut g = grid(4, 3);
+        g.add_color(vec![0, 3, 7], Some("Blue".into()));
+        let perm = random_permutation(g.n(), 9);
+        let h = permuted(&g, &perm);
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), g.m());
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(perm[u as usize], perm[v as usize]));
+        }
+        let blue = h.color_by_name("Blue").unwrap();
+        let mut want: Vec<Vertex> = [0u32, 3, 7].iter().map(|&v| perm[v as usize]).collect();
+        want.sort_unstable();
+        assert_eq!(h.color_members(blue), want.as_slice());
+    }
+
+    #[test]
+    fn remove_vertex_compacts_ids() {
+        let mut g = path(5); // 0-1-2-3-4
+        g.add_color(vec![1, 3], Some("Blue".into()));
+        let h = remove_vertex(&g, 2);
+        assert_eq!(h.n(), 4);
+        // Edges 0-1 and (3-4 shifted to) 2-3 survive; 1-2 and 2-3 die.
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(0, 1) && h.has_edge(2, 3));
+        let blue = h.color_by_name("Blue").unwrap();
+        assert_eq!(h.color_members(blue), &[1, 2]);
     }
 
     #[test]

@@ -193,4 +193,47 @@ mod tests {
     fn control_chars_escaped() {
         assert_eq!(escape("\u{1}"), "\\u0001");
     }
+
+    #[test]
+    fn keys_are_escaped_too() {
+        let mut o = JsonObject::new();
+        o.field_u64("a\"b\\c", 1);
+        assert_eq!(o.finish(), r#"{"a\"b\\c":1}"#);
+    }
+
+    #[test]
+    fn unicode_passes_through_raw() {
+        // JSON strings carry raw UTF-8; only controls and "/\ are escaped.
+        assert_eq!(escape("ε≤½ — naïve"), "ε≤½ — naïve");
+        let mut o = JsonObject::new();
+        o.field_str("query", "dist(x,y) ≤ 2 ∧ Blue(y)");
+        assert_eq!(o.finish(), "{\"query\":\"dist(x,y) ≤ 2 ∧ Blue(y)\"}");
+    }
+
+    #[test]
+    fn deep_nesting_via_raw_splices() {
+        let mut leaf = JsonObject::new();
+        leaf.field_str("note", "tab\there");
+        let mut mid = JsonObject::new();
+        mid.field_raw("leaf", &leaf.finish());
+        let mut arr = JsonArray::new();
+        arr.push_raw(&mid.finish()).push_u64(7);
+        let mut root = JsonObject::new();
+        root.field_raw("items", &arr.finish())
+            .field_bool("ok", true);
+        assert_eq!(
+            root.finish(),
+            r#"{"items":[{"leaf":{"note":"tab\there"}},7],"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn numbers_render_as_json() {
+        assert_eq!(number(-0.5), "-0.5");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
+        let mut o = JsonObject::new();
+        o.field_i64("neg", -3).field_f64("tiny", 1e-9);
+        assert_eq!(o.finish(), r#"{"neg":-3,"tiny":0.000000001}"#);
+    }
 }

@@ -1,0 +1,265 @@
+//! A structured random-query grammar for conformance testing.
+//!
+//! The differential harness (`nd-conform`) needs a *seeded, deterministic*
+//! stream of queries that (a) covers the distance-type fragment the indexed
+//! engine compiles — unions of conjunctions of unary formulas and binary
+//! constraints `dist ≤ d` / `dist > d` / `E` / `¬E` / `=` / `≠` — and
+//! (b) occasionally steps outside the fragment so the naive fallback path
+//! is exercised too. Queries are generated as ASTs (not source text), so
+//! the grammar cannot drift from the parser; the `Display` form of a
+//! generated query is still valid surface syntax for reports.
+//!
+//! Determinism matters more than statistical quality here: the same
+//! `(seed, opts)` pair must regenerate the same query on any platform, so
+//! the generator uses a self-contained splitmix64 stream instead of an RNG
+//! dependency.
+
+use crate::ast::{ColorRef, Formula, Query, VarId};
+
+/// Shape knobs for [`random_query`]. The defaults match what the indexed
+/// engine handles well at conformance-test graph sizes (tens of vertices).
+#[derive(Clone, Debug)]
+pub struct GrammarOpts {
+    /// Maximum arity (inclusive). Arity is drawn from `0..=max_arity`,
+    /// biased away from 0.
+    pub max_arity: usize,
+    /// Maximum number of union branches (inclusive, ≥ 1).
+    pub max_union: usize,
+    /// Maximum distance-atom radius (inclusive, ≥ 1).
+    pub max_radius: u32,
+    /// Color names the graph is known to have. Empty disables color atoms.
+    pub colors: Vec<String>,
+    /// With probability ~1/8, emit a conjunct outside the distance-type
+    /// fragment (a two-variable common-neighbor pattern), forcing the
+    /// naive-fallback rung.
+    pub allow_non_fragment: bool,
+}
+
+impl Default for GrammarOpts {
+    fn default() -> Self {
+        GrammarOpts {
+            max_arity: 3,
+            max_union: 2,
+            max_radius: 4,
+            colors: vec!["Blue".into(), "Red".into()],
+            allow_non_fragment: false,
+        }
+    }
+}
+
+/// Deterministic splitmix64 stream.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `0..bound` (`bound ≥ 1`).
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    /// True with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Generate one deterministic random query from `seed`.
+///
+/// The result's free variables are exactly `v0..v{k-1}` in positional
+/// order, so answer tuples line up with the lexicographic contract of
+/// Theorem 2.3 without any renaming.
+pub fn random_query(seed: u64, opts: &GrammarOpts) -> Query {
+    let mut s = Stream(seed ^ GRAMMAR_STREAM_SALT);
+    // Arity: bias toward 2 (the paper's running examples); allow 0..=max.
+    let k = match s.below(8) {
+        0 => 0,
+        1 => 1.min(opts.max_arity),
+        2..=5 => 2.min(opts.max_arity),
+        _ => opts.max_arity,
+    };
+    let free: Vec<VarId> = (0..k as u32).map(VarId).collect();
+
+    let branches = 1 + s.below(opts.max_union.max(1) as u64) as usize;
+    let parts: Vec<Formula> = (0..branches)
+        .map(|_| random_branch(&mut s, k, opts))
+        .collect();
+    Query::new(Formula::or(parts), free)
+}
+
+/// One conjunctive branch: per-position unary conjuncts, pairwise binary
+/// constraints, optionally a sentence, optionally a non-fragment conjunct.
+fn random_branch(s: &mut Stream, k: usize, opts: &GrammarOpts) -> Formula {
+    let mut conj: Vec<Formula> = Vec::new();
+
+    // Unary conjuncts: color atoms, negated colors, guarded local exists.
+    for j in 0..k {
+        let v = VarId(j as u32);
+        if s.chance(5, 8) {
+            conj.push(random_unary(s, v, opts));
+        }
+    }
+
+    // Binary constraints over position pairs (i < j).
+    for j in 1..k {
+        for i in 0..j {
+            if !s.chance(5, 8) {
+                continue;
+            }
+            let (x, y) = (VarId(i as u32), VarId(j as u32));
+            let d = 1 + s.below(opts.max_radius.max(1) as u64) as u32;
+            conj.push(match s.below(6) {
+                0 => Formula::DistLe(x, y, d),
+                1 => Formula::dist_gt(x, y, d),
+                2 => Formula::Edge(x, y),
+                3 => Formula::Not(Box::new(Formula::Edge(x, y))),
+                4 => Formula::Eq(x, y),
+                _ => Formula::Not(Box::new(Formula::Eq(x, y))),
+            });
+        }
+    }
+
+    // Occasionally a sentence conjunct (arity-0 subformula, the ξ analogue).
+    if s.chance(1, 4) {
+        let u = VarId(k as u32 + 7);
+        let body = random_unary(s, u, opts);
+        conj.push(Formula::Exists(u, Box::new(body)));
+    }
+
+    // Occasionally a deliberately non-fragment conjunct: a common-neighbor
+    // pattern mentioning two answer variables inside one quantifier.
+    if opts.allow_non_fragment && k >= 2 && s.chance(1, 8) {
+        let u = VarId(k as u32 + 9);
+        let (x, y) = (VarId(0), VarId(1));
+        conj.push(Formula::Exists(
+            u,
+            Box::new(Formula::and([Formula::Edge(x, u), Formula::Edge(u, y)])),
+        ));
+    }
+
+    if conj.is_empty() {
+        // An unconstrained branch (full product / `true` sentence) is a
+        // legitimate — and historically bug-prone — edge case; keep it.
+        Formula::True
+    } else {
+        Formula::and(conj)
+    }
+}
+
+/// A unary formula with free variable `v`.
+fn random_unary(s: &mut Stream, v: VarId, opts: &GrammarOpts) -> Formula {
+    if opts.colors.is_empty() {
+        // Colorless graphs: fall back to degree-flavored local facts.
+        let u = VarId(v.0 + 100);
+        return Formula::Exists(u, Box::new(Formula::Edge(v, u)));
+    }
+    let color = |s: &mut Stream| {
+        let name = &opts.colors[s.below(opts.colors.len() as u64) as usize];
+        ColorRef::Named(name.clone())
+    };
+    match s.below(8) {
+        0..=3 => Formula::Color(color(s), v),
+        4 | 5 => Formula::Not(Box::new(Formula::Color(color(s), v))),
+        6 => {
+            // Guarded local witness: ∃u (E(v,u) ∧ C(u)).
+            let u = VarId(v.0 + 100);
+            Formula::Exists(
+                u,
+                Box::new(Formula::and([
+                    Formula::Edge(v, u),
+                    Formula::Color(color(s), u),
+                ])),
+            )
+        }
+        _ => {
+            // Distance-guarded witness: ∃u (dist(v,u) ≤ d ∧ C(u)).
+            let u = VarId(v.0 + 100);
+            let d = 1 + s.below(2) as u32;
+            Formula::Exists(
+                u,
+                Box::new(Formula::and([
+                    Formula::DistLe(v, u, d),
+                    Formula::Color(color(s), u),
+                ])),
+            )
+        }
+    }
+}
+
+/// Is the formula *monotone under vertex deletion*? Deleting a vertex can
+/// only shrink neighborhoods and lengthen distances, so a formula built
+/// without negation from `E`, colors, `=`, `dist ≤ d`, `∧`, `∨`, `∃` can
+/// only lose solutions — the metamorphic deletion invariant of the
+/// conformance harness applies exactly to these.
+pub fn is_deletion_monotone(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False => true,
+        Formula::Edge(..) | Formula::Color(..) | Formula::Eq(..) | Formula::DistLe(..) => true,
+        Formula::Rel(..) => false,
+        Formula::Not(_) | Formula::Forall(..) => false,
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_deletion_monotone),
+        Formula::Exists(_, g) => is_deletion_monotone(g),
+    }
+}
+
+/// Domain-separates the query stream from other consumers of the same
+/// seed (the graph generator uses the raw seed).
+const GRAMMAR_STREAM_SALT: u64 = 0xc0f0_e11a_5eed_0001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::materialize;
+    use nd_graph::generators;
+
+    #[test]
+    fn deterministic_and_well_formed() {
+        let opts = GrammarOpts::default();
+        for seed in 0..200 {
+            let q1 = random_query(seed, &opts);
+            let q2 = random_query(seed, &opts);
+            assert_eq!(q1, q2, "seed {seed} not deterministic");
+            assert!(q1.arity() <= opts.max_arity);
+            // Free variables are exactly v0..v{k-1}.
+            for (i, v) in q1.free.iter().enumerate() {
+                assert_eq!(v.0 as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_evaluate() {
+        let mut g = generators::grid(4, 4);
+        g.add_color((0..16).step_by(3).collect(), Some("Blue".into()));
+        g.add_color((0..16).step_by(5).collect(), Some("Red".into()));
+        let opts = GrammarOpts::default();
+        let mut nonempty = 0;
+        for seed in 0..60 {
+            let q = random_query(seed, &opts);
+            let sols = materialize(&g, &q);
+            // Sorted, duplicate-free — the oracle contract.
+            assert!(sols.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+            if !sols.is_empty() {
+                nonempty += 1;
+            }
+        }
+        assert!(nonempty > 10, "grammar degenerated to empty queries");
+    }
+
+    #[test]
+    fn monotonicity_classifier() {
+        let yes = Formula::and([
+            Formula::Edge(VarId(0), VarId(1)),
+            Formula::DistLe(VarId(0), VarId(1), 2),
+        ]);
+        assert!(is_deletion_monotone(&yes));
+        let no = Formula::dist_gt(VarId(0), VarId(1), 2);
+        assert!(!is_deletion_monotone(&no));
+    }
+}

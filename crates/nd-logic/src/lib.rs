@@ -16,16 +16,25 @@
 //!   substitute for the Unary Theorem 5.3; see DESIGN.md §2).
 //! * [`relational`] — the query rewriting of Lemma 2.2 (`φ` over `D` to `ψ`
 //!   over the colored graph `A'(D)`).
+//! * [`grammar`] — a seeded random-query generator over the distance-type
+//!   fragment (and deliberately beyond it), for the `nd-conform`
+//!   differential harness.
+//! * [`shrink`] — greedy structural query shrinking, turning a failing
+//!   conformance case into a locally minimal counterexample.
 
 pub mod ast;
 pub mod distance_type;
 pub mod eval;
+pub mod grammar;
 pub mod locality;
 pub mod parser;
 pub mod relational;
+pub mod shrink;
 pub mod transform;
 
 pub use ast::{ColorRef, Formula, Query, VarId};
 pub use distance_type::DistanceType;
 pub use eval::{eval, materialize, EvalCtx};
+pub use grammar::{random_query, GrammarOpts};
 pub use parser::{parse_formula, parse_query, ParseError};
+pub use shrink::shrink_query;

@@ -1,0 +1,194 @@
+//! Greedy query shrinking for minimal counterexamples.
+//!
+//! When the conformance harness (`nd-conform`) finds a query on which two
+//! engines disagree, the raw query is usually noisy: several union
+//! branches, half a dozen conjuncts, large radii. This module reduces it
+//! to a *locally minimal* failing query: no single structural reduction
+//! step keeps the failure alive. That is the difference between a
+//! counterexample one can file and a counterexample one can read.
+//!
+//! The shrinker only rewrites the formula; the free-variable list (and
+//! hence the arity and tuple order) is preserved, so the failing probe
+//! tuples remain meaningful across shrink steps. All candidate reductions
+//! keep the formula well-formed: bound variables stay bound, and free
+//! variables can only disappear (extra answer variables are legal in
+//! [`Query::new`]).
+
+use crate::ast::{Formula, Query};
+
+/// Shrink `q` while `fails` keeps returning `true` for the shrunk query.
+///
+/// `fails(candidate)` must re-run the property under test (e.g. "engines
+/// disagree on this graph") and return whether the candidate still fails.
+/// The returned query is locally minimal: every single reduction step
+/// produces a query on which `fails` returns `false`.
+///
+/// `fails` is never called on `q` itself — the caller has already
+/// established that `q` fails.
+pub fn shrink_query(q: &Query, mut fails: impl FnMut(&Query) -> bool) -> Query {
+    let mut best = q.clone();
+    loop {
+        let mut advanced = false;
+        for cand_formula in reductions(&best.formula) {
+            let cand = Query::new(cand_formula, best.free.clone());
+            if fails(&cand) {
+                best = cand;
+                advanced = true;
+                break; // restart the reduction scan from the smaller query
+            }
+        }
+        if !advanced {
+            return best;
+        }
+    }
+}
+
+/// All single-step reductions of `f`, smallest-effect first. Each result
+/// is strictly structurally smaller than `f` (by [`Formula::size`]) or
+/// has a strictly smaller distance constant, so shrinking terminates.
+fn reductions(f: &Formula) -> Vec<Formula> {
+    let mut out = Vec::new();
+    collect(f, &mut |g| out.push(g));
+    out
+}
+
+/// Invoke `emit` with every formula obtained from `f` by one reduction.
+/// (`dyn` rather than `impl`: the recursion through closures would
+/// otherwise instantiate without bound.)
+fn collect(f: &Formula, emit: &mut dyn FnMut(Formula)) {
+    // Rebuild `f` with one child replaced by one of the child's reductions.
+    fn recurse(
+        parts: &[Formula],
+        rebuild: &dyn Fn(Vec<Formula>) -> Formula,
+        emit: &mut dyn FnMut(Formula),
+    ) {
+        for (i, p) in parts.iter().enumerate() {
+            collect(p, &mut |rp| {
+                let mut copy: Vec<Formula> = parts.to_vec();
+                copy[i] = rp;
+                emit(rebuild(copy));
+            });
+        }
+    }
+
+    match f {
+        Formula::True | Formula::False => {}
+        // Atoms shrink to `True` (dropping the constraint) and distance
+        // atoms additionally tighten toward radius 1.
+        Formula::DistLe(x, y, d) => {
+            emit(Formula::True);
+            if *d > 1 {
+                emit(Formula::DistLe(*x, *y, d / 2));
+                emit(Formula::DistLe(*x, *y, d - 1));
+            }
+        }
+        Formula::Edge(..) | Formula::Color(..) | Formula::Eq(..) | Formula::Rel(..) => {
+            emit(Formula::True);
+        }
+        Formula::Not(g) => {
+            // Dropping a negated conjunct entirely is handled by the parent
+            // And/Or arm; here we shrink inside the negation.
+            emit(Formula::True);
+            collect(g, &mut |rg| emit(Formula::Not(Box::new(rg))));
+        }
+        Formula::And(fs) => {
+            // Drop one conjunct at a time.
+            for i in 0..fs.len() {
+                let rest: Vec<Formula> = fs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, g)| g.clone())
+                    .collect();
+                emit(Formula::and(rest));
+            }
+            recurse(fs, &Formula::And, emit);
+        }
+        Formula::Or(fs) => {
+            // Drop one branch at a time; also collapse to a single branch.
+            for i in 0..fs.len() {
+                let rest: Vec<Formula> = fs
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, g)| g.clone())
+                    .collect();
+                emit(Formula::or(rest));
+            }
+            for g in fs {
+                emit(g.clone());
+            }
+            recurse(fs, &Formula::Or, emit);
+        }
+        Formula::Exists(v, g) => {
+            // A quantified unary conjunct usually guards nothing essential:
+            // try dropping it, then shrinking its body.
+            emit(Formula::True);
+            let v = *v;
+            collect(g, &mut |rg| emit(Formula::Exists(v, Box::new(rg))));
+        }
+        Formula::Forall(v, g) => {
+            emit(Formula::True);
+            let v = *v;
+            collect(g, &mut |rg| emit(Formula::Forall(v, Box::new(rg))));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::VarId;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_conjunct() {
+        // Property: "fails" iff the formula still contains a dist atom with
+        // radius ≥ 2. The minimal failing query keeps exactly that atom.
+        let q = Query::new(
+            Formula::and([
+                Formula::Edge(x(), y()),
+                Formula::DistLe(x(), y(), 4),
+                Formula::Not(Box::new(Formula::Eq(x(), y()))),
+            ]),
+            vec![x(), y()],
+        );
+        let has_wide_dist = |f: &Formula| -> bool {
+            fn walk(f: &Formula) -> bool {
+                match f {
+                    Formula::DistLe(_, _, d) => *d >= 2,
+                    Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => walk(g),
+                    Formula::And(fs) | Formula::Or(fs) => fs.iter().any(walk),
+                    _ => false,
+                }
+            }
+            walk(f)
+        };
+        let min = shrink_query(&q, |cand| has_wide_dist(&cand.formula));
+        assert_eq!(min.formula, Formula::DistLe(x(), y(), 2));
+        assert_eq!(min.free, vec![x(), y()]);
+    }
+
+    #[test]
+    fn shrinking_terminates_on_unions() {
+        let q = Query::new(
+            Formula::or([
+                Formula::and([Formula::Edge(x(), y()), Formula::Eq(x(), y())]),
+                Formula::DistLe(x(), y(), 3),
+            ]),
+            vec![x(), y()],
+        );
+        // Nothing fails: the original query is returned untouched.
+        let same = shrink_query(&q, |_| false);
+        assert_eq!(same, q);
+        // Everything fails: shrinks all the way to `true`.
+        let tiny = shrink_query(&q, |_| true);
+        assert!(tiny.formula.size() <= 1, "{tiny}");
+    }
+}

@@ -42,6 +42,7 @@ pub mod admission;
 pub mod error;
 pub mod metrics;
 pub mod pool;
+pub mod protocol;
 pub mod request;
 pub mod snapshot;
 
@@ -49,6 +50,7 @@ pub use admission::{Admission, AdmissionPermit};
 pub use error::ServeError;
 pub use metrics::{HistogramSnapshot, KindSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::{BatchHandle, ServeOpts, ServerPool};
+pub use protocol::{handle_command, Reply, PROTOCOL_HELP};
 pub use request::{Request, RequestKind, Response, REQUEST_KINDS};
 pub use snapshot::Snapshot;
 

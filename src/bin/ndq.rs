@@ -26,7 +26,8 @@ use nowhere_dense::graph::{generators, io, ColoredGraph, Vertex};
 use nowhere_dense::logic::parse_query;
 use nowhere_dense::serve::metrics::HISTOGRAM_BUCKETS;
 use nowhere_dense::serve::{
-    HistogramSnapshot, Request, Response, ServeError, ServeOpts, ServerPool, Snapshot,
+    handle_command, HistogramSnapshot, Reply, Request, ServeError, ServeOpts, ServerPool, Snapshot,
+    PROTOCOL_HELP,
 };
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -50,6 +51,8 @@ enum CliError {
     Serve(ServeError),
     /// An operating-system I/O failure (file open/write, socket bind).
     Io(String),
+    /// The conformance harness found engine/oracle disagreements.
+    Conform(usize),
 }
 
 impl CliError {
@@ -68,6 +71,7 @@ impl CliError {
             CliError::Serve(ServeError::Query(_)) => 14,
             CliError::Serve(_) => 16,
             CliError::Io(_) => 17,
+            CliError::Conform(_) => 18,
         }
     }
 }
@@ -79,6 +83,7 @@ impl std::fmt::Display for CliError {
             CliError::Nd(e) => write!(f, "{e}"),
             CliError::Serve(e) => write!(f, "{e}"),
             CliError::Io(s) => write!(f, "{s}"),
+            CliError::Conform(n) => write!(f, "conformance: {n} disagreement(s) found"),
         }
     }
 }
@@ -106,6 +111,7 @@ USAGE:
   ndq [OPTIONS]               one-shot query evaluation
   ndq serve [OPTIONS]         serve probes over stdin or TCP (line protocol)
   ndq bench-serve [OPTIONS]   closed-loop serving benchmark
+  ndq conform [OPTIONS]       differential conformance run (all engines vs oracle)
 
 GRAPH / QUERY OPTIONS (all modes):
   --graph SPEC | --graph-file PATH   the input graph
@@ -141,6 +147,15 @@ BENCH-SERVE OPTIONS (defaults in brackets):
       [--json PATH]                      write a JSON report
       [--smoke]                          small CI-sized defaults
 
+CONFORM OPTIONS (defaults in brackets):
+      [--seed N]                         run seed [42]
+      [--cases N]                        seeded (graph, query) cases [500]
+      [--max-n N]                        largest graph size [28]
+      [--serve-every N]                  wire-protocol config cadence, 0=off [8]
+      [--no-shrink]                      skip counterexample minimization
+      [--fuzz N]                         also fuzz the serve protocol for N lines [200]
+      [--json PATH]                      write the JSON report ('-' = stdout)
+
 GRAPH SPECS:
   grid:WxH           W×H grid
   pgrid:WxH:EXTRA    perturbed grid with EXTRA random chords
@@ -151,6 +166,7 @@ GRAPH SPECS:
 EXIT CODES:
   0 ok          2 usage        10 graph     11 store     12 budget/overload
   13 prepare    14 query       15 read      16 serve     17 I/O
+  18 conformance disagreement
 ";
 
 // ---------------------------------------------------------------------------
@@ -537,108 +553,9 @@ fn admission_budget(args: &ServeArgs) -> Budget {
     b
 }
 
-fn fmt_tuple(t: &[Vertex]) -> String {
-    t.iter()
-        .map(|v| v.to_string())
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn parse_csv_tuple(s: &str) -> Result<Vec<Vertex>, CliError> {
-    s.split(',')
-        .map(|p| p.trim().parse::<Vertex>())
-        .collect::<Result<Vec<_>, _>>()
-        .map_err(|e| usage(format!("bad tuple {s:?}: {e}")))
-}
-
-fn fmt_response(r: Response) -> String {
-    match r {
-        Response::Test(b) => b.to_string(),
-        Response::NextSolution(None) => "none".into(),
-        Response::NextSolution(Some(t)) => fmt_tuple(&t),
-        Response::Page {
-            solutions,
-            next_from,
-        } => {
-            let next = next_from.map_or_else(|| "end".to_string(), |t| fmt_tuple(&t));
-            if solutions.is_empty() {
-                format!("next={next}")
-            } else {
-                let sols: Vec<String> = solutions.iter().map(|s| fmt_tuple(s)).collect();
-                format!("{} next={next}", sols.join(";"))
-            }
-        }
-    }
-}
-
-fn fmt_serve_error(e: &ServeError) -> String {
-    let kind = match e {
-        ServeError::Overloaded(_) => "overloaded",
-        ServeError::DeadlineExceeded { .. } => "deadline",
-        ServeError::Query(_) => "query",
-        ServeError::Shutdown => "shutdown",
-    };
-    format!("err {kind}: {e}")
-}
-
-const PROTOCOL_HELP: &str =
-    "commands: test a,b,.. | next a,b,.. | page a,b,.. LIMIT | stats | metrics | help | quit";
-
-enum Reply {
-    Line(String),
-    Quit,
-}
-
-/// Execute one protocol line. Empty lines yield no reply; client mistakes
-/// come back as `err usage: ...` lines, never as connection drops.
-fn handle_command(pool: &ServerPool, line: &str) -> Option<Reply> {
-    let line = line.trim();
-    let (cmd, rest) = match line.split_once(char::is_whitespace) {
-        Some((c, r)) => (c, r.trim()),
-        None if line.is_empty() => return None,
-        None => (line, ""),
-    };
-    let reply = match cmd {
-        "quit" | "exit" => return Some(Reply::Quit),
-        "help" => PROTOCOL_HELP.to_string(),
-        "metrics" => pool.metrics_json(),
-        "stats" => pool.snapshot().stats().to_json(),
-        "test" | "next" => match parse_csv_tuple(rest) {
-            Ok(tuple) => {
-                let req = if cmd == "test" {
-                    Request::Test { tuple }
-                } else {
-                    Request::NextSolution { from: tuple }
-                };
-                match pool.call(req) {
-                    Ok(r) => fmt_response(r),
-                    Err(e) => fmt_serve_error(&e),
-                }
-            }
-            Err(e) => format!("err usage: {e}"),
-        },
-        "page" => {
-            let parsed = match rest.rsplit_once(char::is_whitespace) {
-                Some((tuple, limit)) => parse_csv_tuple(tuple.trim()).and_then(|from| {
-                    let limit: usize = limit
-                        .parse()
-                        .map_err(|e| usage(format!("bad page limit {limit:?}: {e}")))?;
-                    Ok((from, limit))
-                }),
-                None => Err(usage("expected: page a,b,.. LIMIT")),
-            };
-            match parsed {
-                Ok((from, limit)) => match pool.call(Request::EnumeratePage { from, limit }) {
-                    Ok(r) => fmt_response(r),
-                    Err(e) => fmt_serve_error(&e),
-                },
-                Err(e) => format!("err usage: {e}"),
-            }
-        }
-        other => format!("err usage: unknown command {other:?} ({PROTOCOL_HELP})"),
-    };
-    Some(Reply::Line(reply))
-}
+// The line protocol itself (parsing, formatting, dispatch) lives in
+// `nd_serve::protocol` so the conformance harness can fuzz the exact
+// production path in-process; the binary only owns the transports.
 
 fn serve_stdin(pool: &ServerPool) -> Result<(), CliError> {
     let stdin = std::io::stdin();
@@ -1104,11 +1021,104 @@ fn cmd_bench_serve(argv: Vec<String>) -> Result<(), CliError> {
 
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// conform mode
+// ---------------------------------------------------------------------------
+
+/// `ndq conform`: run the differential conformance harness (every engine
+/// configuration against the naive-semantics oracle, metamorphic
+/// invariants, wire-protocol round trips) plus the protocol fuzzer, and
+/// exit non-zero (code 18) on any disagreement.
+fn cmd_conform(argv: Vec<String>) -> Result<(), CliError> {
+    let mut opts = nowhere_dense::conform::ConformOpts {
+        cases: 500,
+        ..nowhere_dense::conform::ConformOpts::default()
+    };
+    let mut fuzz_lines: usize = 200;
+    let mut json_path: Option<String> = None;
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |what: &str| {
+            it.next()
+                .ok_or_else(|| usage(format!("missing value for {what}")))
+        };
+        let parse = |what: &str, s: String| -> Result<u64, CliError> {
+            s.parse().map_err(|e| usage(format!("bad {what}: {e}")))
+        };
+        match a.as_str() {
+            "--seed" => opts.seed = parse("--seed", val("--seed")?)?,
+            "--cases" => opts.cases = parse("--cases", val("--cases")?)? as usize,
+            "--max-n" => {
+                opts.max_n = (parse("--max-n", val("--max-n")?)? as usize).max(9);
+            }
+            "--serve-every" => {
+                opts.serve_every = parse("--serve-every", val("--serve-every")?)? as usize;
+            }
+            "--no-shrink" => opts.shrink = false,
+            "--fuzz" => fuzz_lines = parse("--fuzz", val("--fuzz")?)? as usize,
+            "--json" => json_path = Some(val("--json")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(usage(format!("unknown argument {other:?}"))),
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut report = nowhere_dense::conform::run(&opts);
+    if fuzz_lines > 0 {
+        let fuzz = nowhere_dense::conform::protocol_fuzz::fuzz_protocol(opts.seed, fuzz_lines);
+        report.configs_checked += fuzz.configs_checked;
+        report.probes += fuzz.probes;
+        report.disagreements.extend(fuzz.disagreements);
+    }
+
+    eprintln!(
+        "conform: seed={} cases={} configs={} probes={} skipped={} disagreements={} ({:.1}s)",
+        opts.seed,
+        opts.cases,
+        report.configs_checked,
+        report.probes,
+        report.skipped,
+        report.disagreements.len(),
+        t0.elapsed().as_secs_f64(),
+    );
+    for d in &report.disagreements {
+        eprintln!(
+            "  [{}] {} / {}: {} :: {}{}",
+            d.case_seed,
+            d.config,
+            d.check,
+            d.query,
+            d.detail,
+            d.minimized
+                .as_deref()
+                .map(|m| format!(" (minimized: {m})"))
+                .unwrap_or_default(),
+        );
+    }
+
+    match json_path.as_deref() {
+        Some("-") => println!("{}", report.to_json()),
+        Some(path) => std::fs::write(path, report.to_json())
+            .map_err(|e| CliError::Io(format!("write {path}: {e}")))?,
+        None => {}
+    }
+
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(CliError::Conform(report.disagreements.len()))
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some("serve") => cmd_serve(argv.split_off(1)),
         Some("bench-serve") => cmd_bench_serve(argv.split_off(1)),
+        Some("conform") => cmd_conform(argv.split_off(1)),
         _ => cmd_query(argv),
     };
     match result {

@@ -18,11 +18,15 @@
 //! * [`baseline`] — naive baselines used in the experiment harness.
 //! * [`serve`] — the concurrent query-serving runtime: shared snapshots,
 //!   a work-stealing pool, admission control and metrics.
+//! * [`conform`] — the conformance harness: differential testing of every
+//!   engine configuration against the naive semantics, metamorphic
+//!   invariants, and a deterministic serve-protocol fuzzer (`ndq conform`).
 //!
 //! See `README.md` for a tour and `EXPERIMENTS.md` for the claim-by-claim
 //! empirical validation.
 
 pub use nd_baseline as baseline;
+pub use nd_conform as conform;
 pub use nd_core as core;
 pub use nd_cover as cover;
 pub use nd_graph as graph;
