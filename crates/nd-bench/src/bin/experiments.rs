@@ -6,7 +6,10 @@
 //! cargo run --release -p nd-bench --bin experiments -- e1 e4   # subset
 //! cargo run --release -p nd-bench --bin experiments -- --quick # smaller sweeps
 //! cargo run --release -p nd-bench --bin experiments -- --json  # + @json lines
+//! cargo run --release -p nd-bench --bin experiments -- a7 --smoke --json
 //! ```
+//!
+//! `--smoke` is an alias for `--quick` (CI-sized sweeps).
 
 use nd_baseline::{BfsDistanceBaseline, NaiveEnumerator, NaiveTester};
 use nd_bench::*;
@@ -29,7 +32,7 @@ struct Config {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let json = args.iter().any(|a| a == "--json");
     let selected: Vec<String> = args
         .iter()
@@ -96,6 +99,9 @@ fn main() {
     }
     if want("a6") {
         a6_conform(&cfg);
+    }
+    if want("a7") {
+        a7_prepare(&cfg);
     }
 }
 
@@ -949,5 +955,211 @@ fn a6_conform(cfg: &Config) {
             report.disagreements.is_empty(),
             "A6: conformance disagreements found (seed {seed})"
         );
+    }
+}
+
+/// Full-graph BFS from each source over the CSR adjacency, returning a
+/// checksum so the traversal cannot be optimized away.
+fn a7_bfs_csr(g: &nd_graph::ColoredGraph, sources: &[u32]) -> u64 {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue: Vec<u32> = Vec::with_capacity(g.n());
+    let mut sum = 0u64;
+    for &s in sources {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        queue.clear();
+        dist[s as usize] = 0;
+        queue.push(s);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            let dv = dist[v as usize];
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    sum += (dv + 1) as u64;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// The same BFS over a `Vec<Vec<u32>>` adjacency (the layout the CSR core
+/// replaces): one heap allocation per vertex, no cache-contiguous edges.
+fn a7_bfs_vecvec(adj: &[Vec<u32>], sources: &[u32]) -> u64 {
+    let mut dist = vec![u32::MAX; adj.len()];
+    let mut queue: Vec<u32> = Vec::with_capacity(adj.len());
+    let mut sum = 0u64;
+    for &s in sources {
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        queue.clear();
+        dist[s as usize] = 0;
+        queue.push(s);
+        let mut head = 0usize;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            let dv = dist[v as usize];
+            for &w in &adj[v as usize] {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dv + 1;
+                    sum += (dv + 1) as u64;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// A7 — parallel pseudo-linear preprocessing: prepare wall clock at 1/2/4
+/// worker threads over far-constraint queries (cover + kernels + skip
+/// pointers all build), with the parallel index *asserted* structurally
+/// identical to the sequential one, plus a CSR-vs-`Vec<Vec<_>>` adjacency
+/// microbenchmark. Records the whole document in `BENCH_prepare.json`.
+///
+/// Honesty: the report always carries `host_cores` and
+/// `parallelism_limited` — on a single-core host the extra threads cannot
+/// win, and the JSON says so rather than hiding the speedup column.
+fn a7_prepare(cfg: &Config) {
+    use nd_graph::json::{JsonArray, JsonObject};
+
+    println!("\n[A7] parallel prepare: wall clock vs threads (identical indexes)");
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let thread_counts = [1usize, 2, 4];
+    let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
+    let parallelism_limited = max_threads > cores;
+    println!(
+        "(host cores: {cores}{})",
+        if parallelism_limited {
+            "; thread counts above the core count cannot show real scaling"
+        } else {
+            ""
+        }
+    );
+    let t = Table::new(
+        &["family", "n", "threads", "prep", "speedup", "identical"],
+        &[7, 8, 7, 9, 8, 9],
+    );
+    let n = if cfg.quick { 2_000 } else { 16_000 };
+    let q = parse_query(E5_QUERY3).unwrap();
+    let mut runs = JsonArray::new();
+    let families = [
+        GraphFamily::Grid,
+        GraphFamily::RandomTree,
+        GraphFamily::BoundedDegree4,
+    ];
+    for &f in &families {
+        let g = f.build_colored(n, 15);
+        // Untimed warm-up: the very first prepare pays first-touch page
+        // faults and allocator growth that later runs reuse; without it
+        // the threads=1 baseline looks slower than it is and the speedup
+        // column overstates parallelism.
+        std::hint::black_box(
+            PreparedQuery::prepare(&g, &q, &PrepareOpts::default()).expect("a7 warm-up"),
+        );
+        let mut baseline: Option<(nd_core::PrepareStats, f64)> = None;
+        for &threads in &thread_counts {
+            let opts = PrepareOpts {
+                threads,
+                ..PrepareOpts::default()
+            };
+            let (pq, prep) = time_it(|| PreparedQuery::prepare(&g, &q, &opts).expect("a7 prepare"));
+            let stats = pq.stats();
+            let secs = prep.as_secs_f64();
+            let (identical, speedup) = match &baseline {
+                None => {
+                    baseline = Some((stats.structural(), secs));
+                    (true, 1.0)
+                }
+                Some((base, base_secs)) => {
+                    (stats.structural() == *base, base_secs / secs.max(1e-9))
+                }
+            };
+            assert!(
+                identical,
+                "A7: parallel prepare (threads={threads}) diverged from sequential on {}",
+                f.name()
+            );
+            t.row(&[
+                f.name().to_string(),
+                format!("{}", g.n()),
+                format!("{threads}"),
+                fmt_dur(prep),
+                format!("{speedup:.2}x"),
+                format!("{identical}"),
+            ]);
+            emit_json(cfg.json, "a7", |o| {
+                o.field_str("family", f.name())
+                    .field_u64("n", g.n() as u64)
+                    .field_u64("threads", threads as u64)
+                    .field_f64("prep_s", secs)
+                    .field_f64("speedup_vs_1", speedup)
+                    .field_bool("identical_to_sequential", identical);
+            });
+            let mut o = JsonObject::new();
+            o.field_str("family", f.name())
+                .field_u64("n", g.n() as u64)
+                .field_str("query", E5_QUERY3)
+                .field_u64("threads", threads as u64)
+                .field_f64("prep_s", secs)
+                .field_f64("speedup_vs_1", speedup)
+                .field_bool("identical_to_sequential", identical)
+                .field_raw("stats", &stats.to_json());
+            runs.push_raw(&o.finish());
+        }
+    }
+
+    // CSR-vs-Vec-of-Vec adjacency microbenchmark: the same BFS workload
+    // the cover/kernel builders run, over both layouts of the same graph.
+    println!("  csr microbench: full-graph BFS, CSR vs Vec<Vec<_>> adjacency");
+    let tm = Table::new(
+        &["family", "n", "csr", "vec-of-vec", "csr/vecvec"],
+        &[7, 8, 9, 11, 10],
+    );
+    let sources_n = if cfg.quick { 8 } else { 32 };
+    let mut micro = JsonArray::new();
+    for &f in &families {
+        let g = f.build(n, 15);
+        let adj: Vec<Vec<u32>> = (0..g.n() as u32).map(|v| g.neighbors(v).to_vec()).collect();
+        let sources = random_vertices(g.n(), sources_n, 51);
+        // Warm both layouts once so neither pays first-touch page faults
+        // inside the timed section.
+        std::hint::black_box(a7_bfs_csr(&g, &sources));
+        std::hint::black_box(a7_bfs_vecvec(&adj, &sources));
+        let (csr_sum, csr_dur) = time_it(|| a7_bfs_csr(&g, &sources));
+        let (vv_sum, vv_dur) = time_it(|| a7_bfs_vecvec(&adj, &sources));
+        assert_eq!(csr_sum, vv_sum, "A7: CSR and Vec-of-Vec BFS disagree");
+        let ratio = csr_dur.as_secs_f64() / vv_dur.as_secs_f64().max(1e-9);
+        tm.row(&[
+            f.name().to_string(),
+            format!("{}", g.n()),
+            fmt_dur(csr_dur),
+            fmt_dur(vv_dur),
+            format!("{ratio:.2}"),
+        ]);
+        let mut o = JsonObject::new();
+        o.field_str("family", f.name())
+            .field_u64("n", g.n() as u64)
+            .field_u64("bfs_sources", sources_n as u64)
+            .field_f64("csr_s", csr_dur.as_secs_f64())
+            .field_f64("vecvec_s", vv_dur.as_secs_f64())
+            .field_f64("csr_over_vecvec", ratio);
+        micro.push_raw(&o.finish());
+    }
+
+    let mut doc = JsonObject::new();
+    doc.field_str("bench", "prepare")
+        .field_u64("host_cores", cores as u64)
+        .field_bool("parallelism_limited", parallelism_limited)
+        .field_bool("quick", cfg.quick)
+        .field_raw("runs", &runs.finish())
+        .field_raw("csr_microbench", &micro.finish());
+    let path = "BENCH_prepare.json";
+    match std::fs::write(path, doc.finish() + "\n") {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => println!("  WARNING: could not write {path}: {e}"),
     }
 }

@@ -442,7 +442,16 @@ impl Engine for ServeEngine {
 /// conformance failure.
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum Config {
-    Indexed { epsilon: f64, extendability: bool },
+    Indexed {
+        epsilon: f64,
+        extendability: bool,
+    },
+    /// The indexed engine built by the parallel prepare — diffed against
+    /// the sequential `Indexed` configs (and the naive oracle) to prove
+    /// thread count never changes answers.
+    ParallelPrepare {
+        threads: usize,
+    },
     TightBudget,
     StrictNoFallback,
     NaiveStream,
@@ -457,6 +466,7 @@ impl Config {
                 extendability: true,
             } => format!("indexed-eps={epsilon}"),
             Config::Indexed { epsilon, .. } => format!("indexed-noext-eps={epsilon}"),
+            Config::ParallelPrepare { threads } => format!("parallel-prepare-t{threads}"),
             Config::TightBudget => "ladder-tight-budget".into(),
             Config::StrictNoFallback => "strict-nofallback".into(),
             Config::NaiveStream => "naive-stream".into(),
@@ -483,6 +493,10 @@ impl Config {
             // whichever rung answers, it must agree.
             Config::TightBudget => PrepareOpts {
                 budget: Budget::UNLIMITED.with_node_expansions(400),
+                ..PrepareOpts::default()
+            },
+            Config::ParallelPrepare { threads } => PrepareOpts {
+                threads,
                 ..PrepareOpts::default()
             },
             Config::StrictNoFallback => PrepareOpts {
@@ -514,6 +528,8 @@ fn configs(serve: bool, arity: usize) -> Vec<Config> {
             epsilon: 0.5,
             extendability: false,
         },
+        Config::ParallelPrepare { threads: 2 },
+        Config::ParallelPrepare { threads: 4 },
         Config::TightBudget,
         Config::StrictNoFallback,
         Config::NaiveStream,

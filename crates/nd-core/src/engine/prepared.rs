@@ -41,6 +41,7 @@ use crate::error::{InvalidInput, PrepareError, QueryError};
 use crate::skip::SkipPointers;
 use nd_cover::{Cover, KernelIndex};
 use nd_graph::budget::{Budget, BudgetExceeded, BudgetTracker, Phase};
+use nd_graph::par::try_parallel_map;
 use nd_graph::{ColoredGraph, Vertex};
 use nd_logic::ast::{ColorRef, Formula, Query};
 use nd_logic::eval::eval;
@@ -48,6 +49,7 @@ use nd_logic::locality::evaluate_unary;
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Preparation options.
 #[derive(Clone, Debug)]
@@ -67,6 +69,13 @@ pub struct PrepareOpts {
     /// a capped run degrades down the ladder and ultimately returns
     /// [`PrepareError::BudgetExceeded`] instead of hanging.
     pub budget: Budget,
+    /// Worker threads for the parallel preprocessing phases (branch
+    /// fan-out, unary-list evaluation, per-bag kernels, per-position skip
+    /// pointers). `1` = fully sequential (the default); `0` = use the
+    /// host's available parallelism. The produced index is identical for
+    /// every thread count — the fan-out units are pure functions merged by
+    /// input slot, and the shared budget tracker enforces one total cap.
+    pub threads: usize,
 }
 
 impl Default for PrepareOpts {
@@ -77,6 +86,7 @@ impl Default for PrepareOpts {
             allow_fallback: true,
             extendability_check: true,
             budget: Budget::UNLIMITED,
+            threads: 1,
         }
     }
 }
@@ -143,6 +153,18 @@ pub struct PrepareStats {
     pub skip_truncated: bool,
     /// For the naive engine: the materialized solution count.
     pub naive_solutions: Option<usize>,
+    /// Resolved worker-thread count the prepare ran with.
+    pub threads: usize,
+    /// Per-phase wall-clock breakdown, summed across branches (so with a
+    /// parallel branch fan-out these behave like CPU time, not elapsed
+    /// time): greedy cover construction, …
+    pub cover_ms: u64,
+    /// … per-bag kernel computation (Lemma 5.7), …
+    pub kernel_ms: u64,
+    /// … the Storing-Theorem membership store build (trie inserts), …
+    pub store_ms: u64,
+    /// … and the skip-pointer closure (Lemma 5.8).
+    pub skip_ms: u64,
 }
 
 impl DegradationRung {
@@ -185,7 +207,29 @@ impl PrepareStats {
             Some(c) => o.field_u64("naive_solutions", c as u64),
             None => o.field_null("naive_solutions"),
         };
+        o.field_u64("threads", self.threads as u64)
+            .field_u64("cover_ms", self.cover_ms)
+            .field_u64("kernel_ms", self.kernel_ms)
+            .field_u64("store_ms", self.store_ms)
+            .field_u64("skip_ms", self.skip_ms);
         o.finish()
+    }
+
+    /// The timing-free view of the stats: every field that must be
+    /// identical when two prepares of the same inputs are compared
+    /// (e.g. sequential vs. parallel), with wall-clock measurements and
+    /// the thread count zeroed out. `budget_nodes_spent` is kept — charge
+    /// totals are deterministic counts of work done, not timings.
+    pub fn structural(&self) -> PrepareStats {
+        PrepareStats {
+            budget_ms_spent: 0,
+            threads: 0,
+            cover_ms: 0,
+            kernel_ms: 0,
+            store_ms: 0,
+            skip_ms: 0,
+            ..self.clone()
+        }
     }
 }
 
@@ -214,6 +258,7 @@ pub struct PreparedQuery<G: Borrow<ColoredGraph>> {
     degradation_reason: Option<DegradationReason>,
     budget_nodes_spent: u64,
     budget_ms_spent: u64,
+    threads_used: usize,
 }
 
 /// A [`PreparedQuery`] that co-owns its graph through an [`Arc`]: fully
@@ -289,6 +334,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
         }
         let gr = g.borrow();
         validate_colors(gr, &q.formula)?;
+        let threads = nd_graph::resolve_threads(opts.threads);
 
         let branches = match compile(q) {
             Ok(branches) => branches,
@@ -304,6 +350,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
                         n,
                         DegradationReason::UnsupportedFragment(reason),
                         &tracker,
+                        threads,
                     )),
                     Err(e) => Err(Self::budget_error(e, 0, &tracker)),
                 };
@@ -322,6 +369,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
                     degradation_reason: None,
                     budget_nodes_spent: tracker.nodes_spent(),
                     budget_ms_spent: tracker.elapsed().as_millis() as u64,
+                    threads_used: threads,
                     g,
                 })
             }
@@ -341,6 +389,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
                     degradation_reason: Some(DegradationReason::BudgetExceeded(exceeded)),
                     budget_nodes_spent: tracker2.nodes_spent(),
                     budget_ms_spent: tracker2.elapsed().as_millis() as u64,
+                    threads_used: threads,
                     g,
                 });
             }
@@ -356,6 +405,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
                     n,
                     DegradationReason::BudgetExceeded(exceeded),
                     &tracker3,
+                    threads,
                 )),
                 Err(e) => Err(Self::budget_error(e, branches.len(), &tracker3)),
             };
@@ -363,6 +413,11 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
         Err(Self::budget_error(exceeded, branches.len(), &tracker))
     }
 
+    /// Prepare every union branch, fanned across `opts.threads` workers.
+    /// Branches only read the immutable graph and their own compiled
+    /// form, and the merge is by branch index, so the result is identical
+    /// to the sequential loop; the shared `tracker` keeps one total
+    /// budget across all workers.
     fn try_indexed(
         g: &ColoredGraph,
         branches: &[FragmentQuery],
@@ -370,10 +425,9 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
         epsilon: f64,
         tracker: &BudgetTracker,
     ) -> Result<Vec<BranchEngine>, BudgetExceeded> {
-        branches
-            .iter()
-            .map(|fq| BranchEngine::try_prepare(g, fq.clone(), opts, epsilon, tracker))
-            .collect()
+        try_parallel_map(opts.threads, branches, |_, fq| {
+            BranchEngine::try_prepare(g, fq.clone(), opts, epsilon, tracker)
+        })
     }
 
     fn from_naive(
@@ -382,6 +436,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
         n: NaiveEngine,
         reason: DegradationReason,
         tracker: &BudgetTracker,
+        threads: usize,
     ) -> PreparedQuery<G> {
         PreparedQuery {
             g,
@@ -391,6 +446,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
             degradation_reason: Some(reason),
             budget_nodes_spent: tracker.nodes_spent(),
             budget_ms_spent: tracker.elapsed().as_millis() as u64,
+            threads_used: threads,
         }
     }
 
@@ -436,6 +492,7 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
             degradation_reason: self.degradation_reason.clone(),
             budget_nodes_spent: self.budget_nodes_spent,
             budget_ms_spent: self.budget_ms_spent,
+            threads: self.threads_used,
             ..PrepareStats::default()
         };
         match &self.engine {
@@ -462,6 +519,10 @@ impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
                         s.skip_entries += sp.table_len();
                         s.skip_truncated |= sp.truncated();
                     }
+                    s.cover_ms += b.timings.cover_ms;
+                    s.kernel_ms += b.timings.kernel_ms;
+                    s.store_ms += b.timings.store_ms;
+                    s.skip_ms += b.timings.skip_ms;
                 }
             }
         }
@@ -672,6 +733,17 @@ struct BranchEngine {
     /// constraint).
     skips: Vec<Option<SkipPointers>>,
     extend_check: bool,
+    /// Per-phase build-time breakdown for this branch.
+    timings: PhaseTimings,
+}
+
+/// Wall-clock spent in each index-construction phase of one branch.
+#[derive(Clone, Copy, Debug, Default)]
+struct PhaseTimings {
+    cover_ms: u64,
+    kernel_ms: u64,
+    store_ms: u64,
+    skip_ms: u64,
 }
 
 impl BranchEngine {
@@ -711,24 +783,32 @@ impl BranchEngine {
             unary_bits: vec![Vec::new(); fq.k],
             skips: (0..fq.k).map(|_| None).collect(),
             extend_check: opts.extendability_check,
+            timings: PhaseTimings::default(),
             fq,
         };
         if !active {
             return Ok(engine);
         }
 
-        // Step 2: unary lists + bitsets (Unary Theorem substitute).
-        for j in 0..engine.fq.k {
+        // Step 2: unary lists + bitsets (Unary Theorem substitute). Each
+        // position's list is a pure function of (graph, formula), so the
+        // positions fan out across the prepare workers.
+        let positions: Vec<usize> = (0..engine.fq.k).collect();
+        let fq_ref = &engine.fq;
+        let unary = try_parallel_map(opts.threads, &positions, |_, &j| {
             tracker.charge_nodes(Phase::UnaryEvaluation, n as u64 + 1)?;
-            let list = match &engine.fq.unary[j] {
+            let list: Vec<Vertex> = match &fq_ref.unary[j] {
                 Formula::True => (0..n as Vertex).collect(),
-                f => evaluate_unary(g, f, engine.fq.vars[j]),
+                f => evaluate_unary(g, f, fq_ref.vars[j]),
             };
             tracker.charge_memory(Phase::UnaryEvaluation, 4 * list.len() as u64 + n as u64)?;
             let mut bits = vec![false; n];
             for &v in &list {
                 bits[v as usize] = true;
             }
+            Ok((list, bits))
+        })?;
+        for (j, (list, bits)) in unary.into_iter().enumerate() {
             engine.unary_lists[j] = list;
             engine.unary_bits[j] = bits;
         }
@@ -753,32 +833,51 @@ impl BranchEngine {
             .any(|c| matches!(c.kind, BinKind::Le(_) | BinKind::Gt(_)));
         let needs_kernels = engine.fq.binary.iter().any(|c| c.kind.excluding());
         if needs_cover {
-            engine.cover = Some(Cover::try_build(g, 2 * r, epsilon, tracker)?);
+            let cover = Cover::try_build(g, 2 * r, epsilon, tracker)?;
+            let ct = cover.build_timings();
+            engine.timings.cover_ms = ct.greedy_ms;
+            engine.timings.store_ms = ct.store_ms;
+            engine.cover = Some(cover);
         }
         if needs_kernels {
             let cover = engine.cover.as_ref().unwrap();
-            let kernels = KernelIndex::try_build(g, cover, r, tracker)?;
-            for j in 0..engine.fq.k {
-                let far_count = engine
-                    .fq
-                    .constraints_on(j)
-                    .filter(|c| c.kind.excluding())
-                    .count();
-                if far_count > 0 {
-                    // Cap the SC closure so expander-like inputs (huge
-                    // kernel degrees) degrade to scans instead of blowing
-                    // memory — the pseudo-linear budget of Lemma 5.8.
-                    let cap = (64 * n).max(1_000_000);
-                    engine.skips[j] = Some(SkipPointers::try_build_with_cap(
-                        n,
-                        &kernels,
-                        engine.unary_lists[j].clone(),
-                        far_count,
-                        cap,
-                        tracker,
-                    )?);
-                }
+            let t_kernel = Instant::now();
+            let kernels = KernelIndex::try_build_threads(g, cover, r, opts.threads, tracker)?;
+            engine.timings.kernel_ms = t_kernel.elapsed().as_millis() as u64;
+
+            // Skip pointers are per-position and independent (each reads
+            // the shared kernel index plus its own L_j), so they fan out
+            // like the unary lists.
+            let t_skip = Instant::now();
+            let far_positions: Vec<(usize, usize)> = (0..engine.fq.k)
+                .filter_map(|j| {
+                    let far_count = engine
+                        .fq
+                        .constraints_on(j)
+                        .filter(|c| c.kind.excluding())
+                        .count();
+                    (far_count > 0).then_some((j, far_count))
+                })
+                .collect();
+            // Cap the SC closure so expander-like inputs (huge kernel
+            // degrees) degrade to scans instead of blowing memory — the
+            // pseudo-linear budget of Lemma 5.8.
+            let cap = (64 * n).max(1_000_000);
+            let unary_lists = &engine.unary_lists;
+            let built = try_parallel_map(opts.threads, &far_positions, |_, &(j, far_count)| {
+                SkipPointers::try_build_with_cap(
+                    n,
+                    &kernels,
+                    unary_lists[j].clone(),
+                    far_count,
+                    cap,
+                    tracker,
+                )
+            })?;
+            for ((j, _), sp) in far_positions.into_iter().zip(built) {
+                engine.skips[j] = Some(sp);
             }
+            engine.timings.skip_ms = t_skip.elapsed().as_millis() as u64;
             engine.kernels = Some(kernels);
         }
         Ok(engine)
@@ -1064,6 +1163,7 @@ mod tests {
             allow_fallback: true,
             extendability_check: true,
             budget: Budget::UNLIMITED,
+            threads: 1,
         }
     }
 
@@ -1187,6 +1287,42 @@ mod tests {
         let sols: Vec<_> = pq.enumerate().collect();
         for w in sols.windows(2) {
             assert!(w[0] < w[1], "not strictly increasing: {w:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_prepare_is_identical_to_sequential() {
+        // The tentpole invariant: the prepared index is the same value for
+        // every thread count. Checked across ≥ 3 seeds via (a) structural
+        // stats equality — bag counts, store sizes, skip entries, charge
+        // totals — and (b) full enumeration equality.
+        for seed in [11u64, 22, 33] {
+            let g = colored(generators::random_tree(60, seed), seed);
+            for src in [
+                "dist(x,y) > 2 && Blue(y)",
+                "dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)",
+                "E(x,y) || (dist(x,y) > 3 && Blue(y))",
+            ] {
+                let q = parse_query(src).unwrap();
+                let seq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+                let seq_sols: Vec<_> = seq.enumerate().collect();
+                for threads in [2usize, 4] {
+                    let mut opts = small_opts();
+                    opts.threads = threads;
+                    let par = PreparedQuery::prepare(&g, &q, &opts).unwrap();
+                    assert_eq!(
+                        seq.stats().structural(),
+                        par.stats().structural(),
+                        "stats diverged for {src} seed={seed} threads={threads}"
+                    );
+                    assert_eq!(par.stats().threads, threads);
+                    let par_sols: Vec<_> = par.enumerate().collect();
+                    assert_eq!(
+                        seq_sols, par_sols,
+                        "solutions diverged for {src} seed={seed} threads={threads}"
+                    );
+                }
+            }
         }
     }
 

@@ -9,18 +9,67 @@
 
 use crate::{BagId, Cover};
 use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
+use nd_graph::par::try_parallel_map;
 use nd_graph::{ColoredGraph, Vertex};
+use std::sync::Mutex;
+
+/// Reusable buffers for repeated [`kernel_of_bag_with`] calls.
+///
+/// Holds a graph-sized dense `vertex → bag-local index` table (so the
+/// inner BFS loop does `O(1)` membership lookups on the CSR neighbor
+/// slices instead of an `O(log |X|)` binary search per edge) plus the
+/// per-bag `dist`/`queue` vectors. The dense table is reset by walking
+/// the bag, not the whole graph, so reuse across all bags of a cover
+/// costs `O(Σ_X |X|)`, keeping Lemma 5.7's `O(p · Σ_X ‖G[X]‖)` bound.
+pub struct KernelScratch {
+    /// Bag-local index of each vertex, plus one; `0` = not in the bag.
+    local: Vec<u32>,
+    /// Dist-to-outside per bag-local index, capped at `p+1`; `0` =
+    /// unvisited.
+    dist: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl KernelScratch {
+    /// Scratch for a graph on `n` vertices.
+    pub fn new(n: usize) -> KernelScratch {
+        KernelScratch {
+            local: vec![0; n],
+            dist: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+}
 
 /// Compute `K_p(X)` for the (sorted) bag `verts` of graph `g`.
 /// Cost `O(p · ‖G[X]‖)` as in Lemma 5.7 (local-index BFS, no hashing).
+///
+/// Allocating convenience over [`kernel_of_bag_with`]; loops over many
+/// bags should reuse one [`KernelScratch`] instead.
 pub fn kernel_of_bag(g: &ColoredGraph, verts: &[Vertex], p: u32) -> Vec<Vertex> {
+    kernel_of_bag_with(g, verts, p, &mut KernelScratch::new(g.n()))
+}
+
+/// [`kernel_of_bag`] against caller-owned scratch buffers.
+pub fn kernel_of_bag_with(
+    g: &ColoredGraph,
+    verts: &[Vertex],
+    p: u32,
+    scratch: &mut KernelScratch,
+) -> Vec<Vertex> {
     debug_assert!(verts.windows(2).all(|w| w[0] < w[1]));
-    let local = |v: Vertex| verts.binary_search(&v).ok();
-    // dist-to-outside per bag-local index, capped at p+1; 0 = unvisited.
-    let mut dist = vec![0u32; verts.len()];
-    let mut queue: Vec<u32> = Vec::new();
+    let KernelScratch { local, dist, queue } = scratch;
+    if local.len() < g.n() {
+        local.resize(g.n(), 0);
+    }
     for (i, &v) in verts.iter().enumerate() {
-        if g.neighbors(v).iter().any(|&w| local(w).is_none()) {
+        local[v as usize] = i as u32 + 1;
+    }
+    dist.clear();
+    dist.resize(verts.len(), 0);
+    queue.clear();
+    for (i, &v) in verts.iter().enumerate() {
+        if g.neighbors(v).iter().any(|&w| local[w as usize] == 0) {
             dist[i] = 1;
             queue.push(i as u32);
         }
@@ -34,20 +83,25 @@ pub fn kernel_of_bag(g: &ColoredGraph, verts: &[Vertex], p: u32) -> Vec<Vertex> 
             continue;
         }
         for &w in g.neighbors(verts[u]) {
-            if let Some(lw) = local(w) {
-                if dist[lw] == 0 {
-                    dist[lw] = du + 1;
-                    queue.push(lw as u32);
-                }
+            let lw = local[w as usize];
+            if lw != 0 && dist[lw as usize - 1] == 0 {
+                dist[lw as usize - 1] = du + 1;
+                queue.push(lw - 1);
             }
         }
     }
-    verts
+    let kernel = verts
         .iter()
         .enumerate()
         .filter(|(i, _)| dist[*i] == 0 || dist[*i] > p)
         .map(|(_, &v)| v)
-        .collect()
+        .collect();
+    // Undo only the bag's entries so the next bag starts clean without an
+    // O(n) wipe.
+    for &v in verts {
+        local[v as usize] = 0;
+    }
+    kernel
 }
 
 /// Kernels of every bag of a cover at a fixed radius, with the inverted
@@ -70,24 +124,55 @@ impl KernelIndex {
     }
 
     /// Compute `K_p(X)` for every bag, charging per-bag work against
-    /// `tracker`.
+    /// `tracker`. Sequential; see [`KernelIndex::try_build_threads`].
     pub fn try_build(
         g: &ColoredGraph,
         cover: &Cover,
         p: u32,
         tracker: &BudgetTracker,
     ) -> Result<KernelIndex, BudgetExceeded> {
-        let mut kernels = Vec::with_capacity(cover.num_bags());
-        let mut kernel_bags_of: Vec<Vec<BagId>> = vec![Vec::new(); g.n()];
-        for id in 0..cover.num_bags() as BagId {
+        Self::try_build_threads(g, cover, p, 1, tracker)
+    }
+
+    /// [`KernelIndex::try_build`] fanned across up to `threads` workers.
+    ///
+    /// Each bag's kernel only reads the immutable graph and its own bag,
+    /// so bags are mapped independently and merged in bag order — the
+    /// resulting index is identical to the sequential build. The shared
+    /// `tracker` enforces one total budget across all workers (which bag
+    /// observes the overrun first may vary under contention, but whether
+    /// the cap trips does not).
+    pub fn try_build_threads(
+        g: &ColoredGraph,
+        cover: &Cover,
+        p: u32,
+        threads: usize,
+        tracker: &BudgetTracker,
+    ) -> Result<KernelIndex, BudgetExceeded> {
+        // Checked-out scratch pool: workers reuse the graph-sized buffers
+        // across the bags they process instead of allocating per bag.
+        let scratches: Mutex<Vec<KernelScratch>> = Mutex::new(Vec::new());
+        let ids: Vec<BagId> = (0..cover.num_bags() as BagId).collect();
+        let kernels = try_parallel_map(threads, &ids, |_, &id| {
             let verts = &cover.bag(id).verts;
             tracker.charge_nodes(Phase::KernelConstruction, verts.len() as u64 + 1)?;
-            let k = kernel_of_bag(g, verts, p);
+            let mut scratch = scratches
+                .lock()
+                .unwrap()
+                .pop()
+                .unwrap_or_else(|| KernelScratch::new(g.n()));
+            let k = kernel_of_bag_with(g, verts, p, &mut scratch);
+            scratches.lock().unwrap().push(scratch);
             tracker.charge_memory(Phase::KernelConstruction, 4 * k.len() as u64 + 8)?;
-            for &v in &k {
-                kernel_bags_of[v as usize].push(id);
+            Ok(k)
+        })?;
+        // The inverted index is rebuilt sequentially in bag order, so the
+        // per-vertex bag lists come out sorted exactly as before.
+        let mut kernel_bags_of: Vec<Vec<BagId>> = vec![Vec::new(); g.n()];
+        for (id, k) in kernels.iter().enumerate() {
+            for &v in k {
+                kernel_bags_of[v as usize].push(id as BagId);
             }
-            kernels.push(k);
         }
         Ok(KernelIndex {
             p,
@@ -192,6 +277,39 @@ mod tests {
             }
         }
         assert!(ki.degree() <= cover.degree());
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        for (g, r, p) in [
+            (generators::grid(10, 10), 2u32, 2u32),
+            (generators::random_tree(150, 11), 3, 3),
+            (generators::bounded_degree(120, 4, 5), 2, 1),
+        ] {
+            let cover = Cover::build(&g, r, 0.5);
+            let tracker = BudgetTracker::unlimited();
+            let seq = KernelIndex::try_build(&g, &cover, p, &tracker).unwrap();
+            for threads in [2, 4] {
+                let par = KernelIndex::try_build_threads(&g, &cover, p, threads, &tracker).unwrap();
+                assert_eq!(seq.kernels, par.kernels, "threads={threads}");
+                assert_eq!(seq.kernel_bags_of, par.kernel_bags_of, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let g = generators::grid(9, 9);
+        let cover = Cover::build(&g, 2, 0.5);
+        let mut scratch = KernelScratch::new(g.n());
+        for id in 0..cover.num_bags() as BagId {
+            let verts = &cover.bag(id).verts;
+            assert_eq!(
+                kernel_of_bag_with(&g, verts, 2, &mut scratch),
+                kernel_of_bag(&g, verts, 2),
+                "bag {id}"
+            );
+        }
     }
 
     #[test]

@@ -21,14 +21,24 @@
 
 pub mod kernel;
 
-pub use kernel::{kernel_of_bag, KernelIndex};
+pub use kernel::{kernel_of_bag, kernel_of_bag_with, KernelIndex, KernelScratch};
 
 use nd_graph::budget::{BudgetExceeded, BudgetTracker, Phase};
 use nd_graph::{BfsScratch, ColoredGraph, Vertex};
 use nd_store::{KeySet, StoreParams};
+use std::time::Instant;
 
 /// Index of a bag within a cover.
 pub type BagId = u32;
+
+/// Wall-clock breakdown of a cover build, for `PrepareStats`'s per-phase
+/// timings: the greedy bag construction vs. the Storing-Theorem
+/// membership store (`TrieBuild`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoverTimings {
+    pub greedy_ms: u64,
+    pub store_ms: u64,
+}
 
 /// One bag of a cover.
 #[derive(Clone, Debug)]
@@ -51,6 +61,9 @@ pub struct Cover {
     assigned_members: Vec<Vec<Vertex>>,
     /// Storing-Theorem membership structure keyed by `(bag, vertex)`.
     membership: KeySet,
+    /// Build-time phase breakdown (not part of the cover's value — two
+    /// covers built from the same input are equal regardless of timings).
+    timings: CoverTimings,
 }
 
 impl Cover {
@@ -74,11 +87,13 @@ impl Cover {
         epsilon: f64,
         tracker: &BudgetTracker,
     ) -> Result<Cover, BudgetExceeded> {
+        let t_greedy = Instant::now();
         let n = g.n();
         let mut covered = vec![false; n];
         let mut assignment = vec![0 as BagId; n];
         let mut bags: Vec<Bag> = Vec::new();
         let mut scratch = BfsScratch::new(n);
+        let mut kscratch = KernelScratch::new(n);
         tracker.charge_memory(Phase::CoverConstruction, 6 * n as u64)?;
         for c in 0..n as Vertex {
             if covered[c as usize] {
@@ -98,7 +113,7 @@ impl Cover {
             // covers a superset of N_r(c) (which is always inside the
             // kernel), reducing the number of bags and hence the cover
             // degree.
-            for a in kernel::kernel_of_bag(g, &verts, r) {
+            for a in kernel::kernel_of_bag_with(g, &verts, r, &mut kscratch) {
                 if !covered[a as usize] {
                     covered[a as usize] = true;
                     assignment[a as usize] = id;
@@ -119,6 +134,8 @@ impl Cover {
             assigned_members[assignment[v] as usize].push(v as Vertex);
         }
 
+        let greedy_ms = t_greedy.elapsed().as_millis() as u64;
+        let t_store = Instant::now();
         let params = StoreParams::new(n.max(bags.len()).max(1) as u64, 2, epsilon.max(1e-9));
         let mut membership = KeySet::new(params);
         for (id, bag) in bags.iter().enumerate() {
@@ -139,7 +156,16 @@ impl Cover {
             bags_of,
             assigned_members,
             membership,
+            timings: CoverTimings {
+                greedy_ms,
+                store_ms: t_store.elapsed().as_millis() as u64,
+            },
         })
+    }
+
+    /// Wall-clock breakdown recorded while building this cover.
+    pub fn build_timings(&self) -> CoverTimings {
+        self.timings
     }
 
     /// Number of bags.

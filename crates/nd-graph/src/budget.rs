@@ -10,11 +10,15 @@
 //!
 //! This module lives in `nd-graph` — the root of the crate DAG — so that
 //! `nd-cover` and `nd-core` can share one tracker without a dependency
-//! cycle. Trackers are single-threaded (`Cell` counters) and cheap to
-//! charge: wall-clock is only sampled every [`WALL_CHECK_PERIOD`] charges.
+//! cycle. Counters are relaxed atomics, so a single tracker can be shared
+//! across the scoped worker threads of a parallel prepare (`nd_graph::par`)
+//! while still enforcing one *total* spend cap — the degradation ladder
+//! sees the same aggregate accounting whether the phases ran on one thread
+//! or eight. Charges stay cheap: an uncontended `fetch_add` plus a branch,
+//! with wall-clock only sampled every [`WALL_CHECK_PERIOD`] charges.
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How many charge calls between wall-clock samples (`Instant::now` is the
@@ -155,16 +159,19 @@ impl Budget {
             wall_cap_ms: self.wall_clock.map(|d| d.as_millis() as u64),
             node_cap: self.node_expansions,
             mem_cap: self.memory_bytes,
-            nodes: Cell::new(0),
-            mem: Cell::new(0),
-            ticks: Cell::new(0),
+            nodes: AtomicU64::new(0),
+            mem: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
         }
     }
 }
 
-/// Running spend against a [`Budget`]. Single-threaded; charge methods take
-/// `&self` so the tracker can be shared down a call tree without threading
-/// `&mut` borrows through builders.
+/// Running spend against a [`Budget`]. Charge methods take `&self` so the
+/// tracker can be shared down a call tree — or across scoped worker
+/// threads — without threading `&mut` borrows through builders. All
+/// counters are relaxed atomics: exact totals, no ordering guarantees
+/// needed (an overrun detected one charge late on a racing thread is
+/// within the cap semantics, which were already amortized).
 #[derive(Debug)]
 pub struct BudgetTracker {
     started: Instant,
@@ -172,9 +179,9 @@ pub struct BudgetTracker {
     wall_cap_ms: Option<u64>,
     node_cap: Option<u64>,
     mem_cap: Option<u64>,
-    nodes: Cell<u64>,
-    mem: Cell<u64>,
-    ticks: Cell<u64>,
+    nodes: AtomicU64,
+    mem: AtomicU64,
+    ticks: AtomicU64,
 }
 
 impl BudgetTracker {
@@ -188,8 +195,10 @@ impl BudgetTracker {
     /// ran out.
     #[inline]
     pub fn charge_nodes(&self, phase: Phase, count: u64) -> Result<(), BudgetExceeded> {
-        let spent = self.nodes.get().saturating_add(count);
-        self.nodes.set(spent);
+        let spent = self
+            .nodes
+            .fetch_add(count, Ordering::Relaxed)
+            .saturating_add(count);
         if let Some(cap) = self.node_cap {
             if spent > cap {
                 return Err(BudgetExceeded {
@@ -206,8 +215,10 @@ impl BudgetTracker {
     /// Charge `bytes` of tracked memory in `phase`.
     #[inline]
     pub fn charge_memory(&self, phase: Phase, bytes: u64) -> Result<(), BudgetExceeded> {
-        let spent = self.mem.get().saturating_add(bytes);
-        self.mem.set(spent);
+        let spent = self
+            .mem
+            .fetch_add(bytes, Ordering::Relaxed)
+            .saturating_add(bytes);
         if let Some(cap) = self.mem_cap {
             if spent > cap {
                 return Err(BudgetExceeded {
@@ -224,14 +235,20 @@ impl BudgetTracker {
     /// Release `bytes` of tracked memory (freed scratch space).
     #[inline]
     pub fn release_memory(&self, bytes: u64) {
-        self.mem.set(self.mem.get().saturating_sub(bytes));
+        // fetch_update loops only under contention; release sites are rare
+        // (phase teardown), so this never spins in practice.
+        let _ = self
+            .mem
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |m| {
+                Some(m.saturating_sub(bytes))
+            });
     }
 
     /// Forced check of every cap, including an unconditional wall-clock
     /// sample. Call at phase boundaries.
     pub fn checkpoint(&self, phase: Phase) -> Result<(), BudgetExceeded> {
         if let Some(cap) = self.node_cap {
-            let spent = self.nodes.get();
+            let spent = self.nodes.load(Ordering::Relaxed);
             if spent > cap {
                 return Err(BudgetExceeded {
                     phase,
@@ -242,7 +259,7 @@ impl BudgetTracker {
             }
         }
         if let Some(cap) = self.mem_cap {
-            let spent = self.mem.get();
+            let spent = self.mem.load(Ordering::Relaxed);
             if spent > cap {
                 return Err(BudgetExceeded {
                     phase,
@@ -262,8 +279,7 @@ impl BudgetTracker {
         if self.deadline.is_none() {
             return Ok(());
         }
-        let t = self.ticks.get() + 1;
-        self.ticks.set(t);
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
         if t.is_multiple_of(WALL_CHECK_PERIOD) {
             self.check_wall(phase)
         } else {
@@ -287,12 +303,12 @@ impl BudgetTracker {
 
     /// Node expansions charged so far.
     pub fn nodes_spent(&self) -> u64 {
-        self.nodes.get()
+        self.nodes.load(Ordering::Relaxed)
     }
 
     /// Tracked memory currently charged, in bytes.
     pub fn memory_spent(&self) -> u64 {
-        self.mem.get()
+        self.mem.load(Ordering::Relaxed)
     }
 
     /// Time since the tracker was started.
@@ -354,6 +370,38 @@ mod tests {
             }
         }
         assert!(tripped, "amortized wall check never fired");
+    }
+
+    #[test]
+    fn tracker_is_shareable_across_threads() {
+        // Compile-time: parallel prepare shares one tracker by reference.
+        const fn assert_sync<T: Sync + Send>() {}
+        const _: () = assert_sync::<BudgetTracker>();
+
+        // Runtime: concurrent charges aggregate exactly, and the shared
+        // node cap trips once total spend (not per-thread spend) crosses it.
+        let t = Budget::default().with_node_expansions(1000).start();
+        let tripped: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut hit = false;
+                        for _ in 0..300 {
+                            if t.charge_nodes(Phase::KernelConstruction, 1).is_err() {
+                                hit = true;
+                            }
+                        }
+                        hit
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(t.nodes_spent(), 1200);
+        assert!(
+            tripped.iter().any(|&b| b),
+            "total spend 1200 > cap 1000 must trip on some thread"
+        );
     }
 
     #[test]

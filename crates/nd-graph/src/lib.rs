@@ -19,6 +19,9 @@
 //!   classes empirically.
 //! * [`budget`] — resource caps ([`Budget`]) and cooperative-cancellation
 //!   trackers shared by every preprocessing phase of the upper crates.
+//! * [`par`] — a deterministic scoped-thread `parallel_map` used to fan
+//!   out the independent preprocessing units (branches, bags, positions)
+//!   with bit-identical output to the sequential build.
 //! * [`json`] — a minimal serde-free JSON writer shared by the workspace's
 //!   observability surfaces (stats, metrics, bench artifacts).
 //! * [`error`] — typed construction errors ([`GraphError`]).
@@ -33,6 +36,7 @@ pub mod graph;
 pub mod induced;
 pub mod io;
 pub mod json;
+pub mod par;
 pub mod relational;
 pub mod stats;
 
@@ -42,3 +46,4 @@ pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{ColorId, ColoredGraph, Vertex};
 pub use induced::InducedSubgraph;
+pub use par::{parallel_map, resolve_threads, try_parallel_map};

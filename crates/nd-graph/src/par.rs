@@ -1,0 +1,188 @@
+//! Deterministic scoped-thread parallel map.
+//!
+//! The preprocessing phases of the enumeration pipeline (per-branch index
+//! builds, per-bag kernels, per-position skip pointers, per-radius distance
+//! oracles) are *embarrassingly parallel by construction*: each work item
+//! is a pure function of the immutable graph plus its own inputs, and the
+//! merge step only concatenates results by item index. That makes the
+//! parallel build **bit-identical** to the sequential one — determinism is
+//! preserved by keeping every output in its input slot, not by controlling
+//! execution order.
+//!
+//! [`try_parallel_map`] is the one shared primitive: a scoped worker pool
+//! (plain `std::thread::scope`, no dependencies) pulling item indices off a
+//! shared atomic counter. Error handling is deterministic too: if several
+//! items fail, the error of the *smallest* item index wins, which is
+//! exactly the error the sequential loop would have returned first.
+//!
+//! Budget semantics: callers share one [`crate::BudgetTracker`] (atomic
+//! counters) across the closure invocations, so a single total spend cap
+//! governs the whole fan-out — parallelism never multiplies the budget.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a thread-count knob: `0` means "use available parallelism",
+/// anything else is taken literally (clamped to at least 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+/// Below this many items a fan-out never pays for thread spawns.
+const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Map `f` over `items` on up to `threads` scoped worker threads, returning
+/// outputs in input order, or the error of the smallest failing index.
+///
+/// Guarantees:
+/// - **Deterministic output**: result `i` is `f(i, &items[i])`; ordering is
+///   by input slot regardless of which worker ran which item.
+/// - **Deterministic error**: on failure, the returned error is the one
+///   produced for the smallest item index that failed — identical to what
+///   a sequential `for` loop over `items` would report first. Workers stop
+///   picking up new items once any error is recorded (items already in
+///   flight run to completion).
+/// - **Sequential fast path**: with `threads <= 1`, one item, or an empty
+///   slice, no threads are spawned and `f` runs inline in input order —
+///   the call is exactly the sequential loop.
+///
+/// `f` takes the item index alongside the item so callers can index into
+/// sibling arrays without capturing per-item state.
+pub fn try_parallel_map<T, U, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let threads = resolve_threads(threads)
+        .min(items.len() / MIN_ITEMS_PER_THREAD)
+        .max(1);
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    // Index of the smallest failing item seen so far; usize::MAX = none.
+    // Workers use it both to record failures and as the stop signal.
+    let first_err_idx = AtomicUsize::new(usize::MAX);
+    let err_slot: Mutex<Option<(usize, E)>> = Mutex::new(None);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || first_err_idx.load(Ordering::Relaxed) < i {
+                    return;
+                }
+                match f(i, &items[i]) {
+                    Ok(v) => *slots[i].lock().unwrap() = Some(v),
+                    Err(e) => {
+                        first_err_idx.fetch_min(i, Ordering::Relaxed);
+                        let mut slot = err_slot.lock().unwrap();
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, e));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, e)) = err_slot.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every slot filled when no error was recorded")
+        })
+        .collect())
+}
+
+/// Infallible variant of [`try_parallel_map`].
+pub fn parallel_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let res: Result<Vec<U>, std::convert::Infallible> =
+        try_parallel_map(threads, items, |i, item| Ok(f(i, item)));
+    match res {
+        Ok(v) => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 0] {
+            let out = parallel_map(threads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let items: Vec<u32> = (0..100).rev().collect();
+        let f = |i: usize, &x: &u32| -> Result<(usize, u32), ()> {
+            Ok((i, x.wrapping_mul(2654435761)))
+        };
+        let seq = try_parallel_map(1, &items, f).unwrap();
+        let par = try_parallel_map(4, &items, f).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn smallest_failing_index_wins() {
+        let items: Vec<usize> = (0..512).collect();
+        // Items 17, 40 and 300 fail; the sequential loop would report 17.
+        let run = |threads| {
+            try_parallel_map(threads, &items, |_, &x| {
+                if x == 17 || x == 40 || x == 300 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            })
+        };
+        assert_eq!(run(1), Err(17));
+        assert_eq!(run(4), Err(17));
+    }
+
+    #[test]
+    fn tiny_inputs_stay_sequential() {
+        // One item can't be split; this must not spawn (observable only as
+        // "it works and preserves the single result").
+        let out = parallel_map(8, &[42u8], |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 42)]);
+        let empty: Vec<(usize, u8)> = parallel_map(8, &[], |i, &x: &u8| (i, x));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_host() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! LRU cache of prepared-query snapshots.
+//!
+//! The paper's bargain is `O(n^{1+ε})` preprocessing buying constant-time
+//! probes — which makes *re-preparing a query you already prepared* the
+//! single most expensive avoidable operation in the serving runtime. The
+//! [`PrepareCache`] memoizes [`Snapshot`]s behind a key of
+//! (normalized query text, graph identity, prepare options), so a repeated
+//! `prepare` in the line protocol is a map lookup plus an `Arc` bump
+//! instead of a cover/kernel/store rebuild.
+//!
+//! Keying:
+//!
+//! * **Query** — the parsed query's canonical rendering (`Query::
+//!   to_string`), so formatting differences in the source text
+//!   (whitespace, redundant parens) still hit.
+//! * **Graph** — the `Arc` pointer identity of the graph snapshot. This is
+//!   sound *because the cache retains the snapshot, which co-owns the
+//!   graph `Arc`*: while an entry is live its graph allocation cannot be
+//!   freed, so the address cannot be reused by a different graph.
+//! * **Options** — every semantic field of [`PrepareOpts`] (ε, distance
+//!   oracle knobs, fallback/extendability flags, budget caps). The
+//!   `threads` knob is deliberately excluded: the parallel prepare is
+//!   bit-identical to the sequential one, so indexes built at different
+//!   thread counts are interchangeable and must share one entry.
+//!
+//! Eviction is least-recently-used over a small capacity (a serving
+//! process works with a handful of hot queries); the scan is O(capacity)
+//! per insert, which is noise next to the prepare it replaces. Hit, miss
+//! and eviction counters are relaxed atomics exported into the serving
+//! metrics JSON.
+
+use crate::snapshot::Snapshot;
+use nd_core::{PrepareError, PrepareOpts};
+use nd_graph::json::JsonObject;
+use nd_graph::ColoredGraph;
+use nd_logic::ast::Query;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default number of cached snapshots for a serving session.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CacheKey {
+    query: String,
+    graph_id: usize,
+    opts_fp: String,
+}
+
+/// The semantic fingerprint of the prepare options. `threads` is excluded
+/// on purpose — see the module docs.
+fn opts_fingerprint(opts: &PrepareOpts) -> String {
+    format!(
+        "eps={:016x} dist={:?} budget={:?} fallback={} extend={}",
+        opts.epsilon.to_bits(),
+        opts.dist,
+        opts.budget,
+        opts.allow_fallback,
+        opts.extendability_check,
+    )
+}
+
+struct Entry {
+    key: CacheKey,
+    snapshot: Snapshot,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache of prepared snapshots. Capacity 0 disables
+/// caching (every lookup is a miss and nothing is retained).
+pub struct PrepareCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Point-in-time counters of a [`PrepareCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheCounters {
+    pub capacity: usize,
+    pub size: usize,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("capacity", self.capacity as u64)
+            .field_u64("size", self.size as u64)
+            .field_u64("hits", self.hits)
+            .field_u64("misses", self.misses)
+            .field_u64("evictions", self.evictions);
+        o.finish()
+    }
+}
+
+impl PrepareCache {
+    pub fn new(capacity: usize) -> PrepareCache {
+        PrepareCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the snapshot for `(q, graph, opts)`, building (and caching)
+    /// it on a miss. Returns the snapshot and whether it was a hit.
+    ///
+    /// The build runs outside the cache lock, so a slow prepare never
+    /// blocks concurrent lookups of other keys (two racing misses on the
+    /// same key both build; the second insert wins, which is harmless —
+    /// the indexes are identical by construction).
+    pub fn get_or_prepare(
+        &self,
+        graph: &Arc<ColoredGraph>,
+        q: &Query,
+        opts: &PrepareOpts,
+    ) -> Result<(Snapshot, bool), PrepareError> {
+        let key = CacheKey {
+            query: q.to_string(),
+            graph_id: Arc::as_ptr(graph) as usize,
+            opts_fp: opts_fingerprint(opts),
+        };
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((e.snapshot.clone(), true));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let snapshot = Snapshot::build(Arc::clone(graph), q, opts)?;
+        if self.capacity > 0 {
+            let mut inner = self.inner.lock().unwrap();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+                // Lost a race with an identical build; keep the incumbent.
+                e.last_used = tick;
+            } else {
+                if inner.entries.len() >= self.capacity {
+                    let lru = inner
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0 and entries full");
+                    inner.entries.swap_remove(lru);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                inner.entries.push(Entry {
+                    key,
+                    snapshot: snapshot.clone(),
+                    last_used: tick,
+                });
+            }
+        }
+        Ok((snapshot, false))
+    }
+
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            capacity: self.capacity,
+            size: self.inner.lock().unwrap().entries.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for PrepareCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counters();
+        f.debug_struct("PrepareCache")
+            .field("capacity", &c.capacity)
+            .field("size", &c.size)
+            .field("hits", &c.hits)
+            .field("misses", &c.misses)
+            .field("evictions", &c.evictions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nd_graph::generators;
+    use nd_logic::parse_query;
+
+    fn test_graph(seed: u64) -> Arc<ColoredGraph> {
+        let mut g = generators::random_tree(40, seed);
+        g.add_color((0..40).step_by(3).collect(), Some("Blue".into()));
+        g.into_shared()
+    }
+
+    #[test]
+    fn repeated_prepare_hits() {
+        let cache = PrepareCache::new(4);
+        let g = test_graph(1);
+        let q = parse_query("dist(x,y) <= 2 && Blue(y)").unwrap();
+        let opts = PrepareOpts::default();
+        let (_, hit) = cache.get_or_prepare(&g, &q, &opts).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_prepare(&g, &q, &opts).unwrap();
+        assert!(hit);
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.size), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_opts_and_graphs_miss() {
+        let cache = PrepareCache::new(8);
+        let g1 = test_graph(1);
+        let g2 = test_graph(2);
+        let q = parse_query("Blue(x)").unwrap();
+        let opts = PrepareOpts::default();
+        let coarse = PrepareOpts {
+            epsilon: 0.9,
+            ..PrepareOpts::default()
+        };
+        assert!(!cache.get_or_prepare(&g1, &q, &opts).unwrap().1);
+        assert!(
+            !cache.get_or_prepare(&g2, &q, &opts).unwrap().1,
+            "new graph"
+        );
+        assert!(!cache.get_or_prepare(&g1, &q, &coarse).unwrap().1, "new ε");
+        assert_eq!(cache.counters().misses, 3);
+    }
+
+    #[test]
+    fn thread_count_shares_entries() {
+        // The parallel prepare is bit-identical to the sequential one, so
+        // the knob must not split the key space.
+        let cache = PrepareCache::new(4);
+        let g = test_graph(3);
+        let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+        let seq = PrepareOpts::default();
+        let par = PrepareOpts {
+            threads: 4,
+            ..PrepareOpts::default()
+        };
+        assert!(!cache.get_or_prepare(&g, &q, &seq).unwrap().1);
+        assert!(cache.get_or_prepare(&g, &q, &par).unwrap().1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let cache = PrepareCache::new(2);
+        let g = test_graph(4);
+        let opts = PrepareOpts::default();
+        let qa = parse_query("Blue(x)").unwrap();
+        let qb = parse_query("E(x,y)").unwrap();
+        let qc = parse_query("dist(x,y) <= 2").unwrap();
+        cache.get_or_prepare(&g, &qa, &opts).unwrap();
+        cache.get_or_prepare(&g, &qb, &opts).unwrap();
+        // Touch A so B is the LRU, then insert C: B must be evicted.
+        assert!(cache.get_or_prepare(&g, &qa, &opts).unwrap().1);
+        cache.get_or_prepare(&g, &qc, &opts).unwrap();
+        let c = cache.counters();
+        assert_eq!((c.size, c.evictions), (2, 1));
+        assert!(cache.get_or_prepare(&g, &qa, &opts).unwrap().1, "A kept");
+        assert!(cache.get_or_prepare(&g, &qc, &opts).unwrap().1, "C kept");
+        assert!(
+            !cache.get_or_prepare(&g, &qb, &opts).unwrap().1,
+            "B evicted"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PrepareCache::new(0);
+        let g = test_graph(5);
+        let q = parse_query("Blue(x)").unwrap();
+        let opts = PrepareOpts::default();
+        assert!(!cache.get_or_prepare(&g, &q, &opts).unwrap().1);
+        assert!(!cache.get_or_prepare(&g, &q, &opts).unwrap().1);
+        let c = cache.counters();
+        assert_eq!((c.size, c.misses, c.hits), (0, 2, 0));
+    }
+}

@@ -39,19 +39,23 @@
 //! `ndq bench-serve` are the CLI front-ends.
 
 pub mod admission;
+pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod request;
+pub mod session;
 pub mod snapshot;
 
 pub use admission::{Admission, AdmissionPermit};
+pub use cache::{CacheCounters, PrepareCache, DEFAULT_CACHE_CAPACITY};
 pub use error::ServeError;
 pub use metrics::{HistogramSnapshot, KindSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
 pub use pool::{BatchHandle, ServeOpts, ServerPool};
 pub use protocol::{handle_command, Reply, PROTOCOL_HELP};
 pub use request::{Request, RequestKind, Response, REQUEST_KINDS};
+pub use session::{Session, SESSION_PROTOCOL_HELP};
 pub use snapshot::Snapshot;
 
 use std::sync::Arc;
@@ -75,6 +79,8 @@ const _: () = {
     assert_send_sync::<ServeError>();
     assert_send_sync::<Request>();
     assert_send_sync::<Response>();
+    assert_send_sync::<PrepareCache>();
+    assert_send_sync::<Session>();
     // Handles move to a waiting thread but are owned by one client.
     assert_send::<BatchHandle>();
     assert_send::<AdmissionPermit>();

@@ -313,6 +313,13 @@ impl ServerPool {
     /// Full observability document: server config + prepare-phase stats +
     /// per-request-kind metrics, as one JSON object.
     pub fn metrics_json(&self) -> String {
+        self.metrics_json_with(&[])
+    }
+
+    /// [`ServerPool::metrics_json`] with extra pre-rendered JSON sections
+    /// appended at the top level (e.g. the serving session's
+    /// `prepare_cache` counters).
+    pub fn metrics_json_with(&self, extra: &[(&str, String)]) -> String {
         let snap = &self.shared.snapshot;
         let mut server = JsonObject::new();
         server
@@ -329,6 +336,9 @@ impl ServerPool {
         o.field_raw("server", &server.finish())
             .field_raw("prepare", &snap.stats().to_json())
             .field_raw("requests", &self.metrics_snapshot().to_json());
+        for (name, json) in extra {
+            o.field_raw(name, json);
+        }
         o.finish()
     }
 

@@ -1,0 +1,218 @@
+//! A serving session: one pool plus a prepared-query cache, with a
+//! `prepare` command on top of the base line protocol.
+//!
+//! [`handle_command`](crate::protocol::handle_command) serves probes
+//! against one fixed snapshot. A [`Session`] wraps that with query
+//! *switching*: `prepare <query>` re-points the session at a (possibly
+//! cached) snapshot of the same graph, restarting the worker pool over
+//! it. Repeated `prepare`s of a query already in the [`PrepareCache`] are
+//! O(1) — a lookup and an `Arc` bump instead of a cover/kernel/store
+//! rebuild.
+//!
+//! The session also extends the `metrics` reply with the cache's
+//! hit/miss/eviction counters under `"prepare_cache"`, and `help` with
+//! the extended grammar.
+
+use crate::cache::PrepareCache;
+use crate::pool::{ServeOpts, ServerPool};
+use crate::protocol::{handle_command, Reply};
+use crate::snapshot::Snapshot;
+use nd_core::{PrepareError, PrepareOpts};
+use nd_graph::ColoredGraph;
+use nd_logic::ast::Query;
+use nd_logic::parse_query;
+use std::sync::Arc;
+
+/// Command summary for sessions (the base protocol plus `prepare`).
+pub const SESSION_PROTOCOL_HELP: &str =
+    "commands: prepare QUERY | test a,b,.. | next a,b,.. | page a,b,.. LIMIT | stats | metrics | help | quit";
+
+/// One client-facing serving session over a shared graph.
+pub struct Session {
+    graph: Arc<ColoredGraph>,
+    prepare_opts: PrepareOpts,
+    serve_opts: ServeOpts,
+    cache: PrepareCache,
+    pool: ServerPool,
+}
+
+impl Session {
+    /// Prepare the initial query (through the cache) and start serving.
+    pub fn start(
+        graph: Arc<ColoredGraph>,
+        q: &Query,
+        prepare_opts: PrepareOpts,
+        serve_opts: ServeOpts,
+        cache_capacity: usize,
+    ) -> Result<Session, PrepareError> {
+        let cache = PrepareCache::new(cache_capacity);
+        let (snapshot, _) = cache.get_or_prepare(&graph, q, &prepare_opts)?;
+        let pool = ServerPool::start(snapshot, &serve_opts);
+        Ok(Session {
+            graph,
+            prepare_opts,
+            serve_opts,
+            cache,
+            pool,
+        })
+    }
+
+    /// The pool currently serving probes.
+    pub fn pool(&self) -> &ServerPool {
+        &self.pool
+    }
+
+    /// The session's prepare cache (counters for tests and metrics).
+    pub fn cache(&self) -> &PrepareCache {
+        &self.cache
+    }
+
+    /// Current snapshot convenience.
+    pub fn snapshot(&self) -> &Snapshot {
+        self.pool.snapshot()
+    }
+
+    /// The session's metrics document: the pool's metrics JSON extended
+    /// with the prepare-cache counters.
+    pub fn metrics_json(&self) -> String {
+        self.pool
+            .metrics_json_with(&[("prepare_cache", self.cache.counters().to_json())])
+    }
+
+    /// Execute one protocol line. `prepare`, `metrics` and `help` are
+    /// handled here; everything else delegates to the base protocol
+    /// against the current pool.
+    pub fn handle(&mut self, line: &str) -> Option<Reply> {
+        let trimmed = line.trim();
+        let (cmd, rest) = match trimmed.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (trimmed, ""),
+        };
+        match cmd {
+            "prepare" => Some(Reply::Line(self.prepare(rest))),
+            "metrics" => Some(Reply::Line(self.metrics_json())),
+            "help" => Some(Reply::Line(SESSION_PROTOCOL_HELP.to_string())),
+            _ => handle_command(&self.pool, line),
+        }
+    }
+
+    /// Switch the session to `query_src`, reusing a cached snapshot when
+    /// one exists. Replies `prepared hit|miss arity=K rung=R` on success,
+    /// `err usage:`/`err prepare:` on failure (the old snapshot keeps
+    /// serving).
+    fn prepare(&mut self, query_src: &str) -> String {
+        if query_src.is_empty() {
+            return format!("err usage: expected: prepare QUERY ({SESSION_PROTOCOL_HELP})");
+        }
+        let q = match parse_query(query_src) {
+            Ok(q) => q,
+            Err(e) => return format!("err usage: bad query: {e}"),
+        };
+        match self
+            .cache
+            .get_or_prepare(&self.graph, &q, &self.prepare_opts)
+        {
+            Ok((snapshot, hit)) => {
+                let arity = snapshot.arity();
+                let rung = snapshot.stats().rung.name();
+                // Restart the workers over the new snapshot; the old pool
+                // drains and joins on drop.
+                let old = std::mem::replace(
+                    &mut self.pool,
+                    ServerPool::start(snapshot, &self.serve_opts),
+                );
+                old.shutdown();
+                let tag = if hit { "hit" } else { "miss" };
+                format!("prepared {tag} arity={arity} rung={rung}")
+            }
+            Err(e) => format!("err prepare: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("query", &self.pool.snapshot().query_src())
+            .field("cache", &self.cache)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::PROTOCOL_HELP;
+    use nd_graph::generators;
+
+    fn session() -> Session {
+        let mut g = generators::grid(6, 6);
+        g.add_color((0..36).step_by(3).collect(), Some("Blue".into()));
+        Session::start(
+            g.into_shared(),
+            &parse_query("dist(x,y) <= 2 && Blue(y)").unwrap(),
+            PrepareOpts::default(),
+            ServeOpts {
+                workers: 1,
+                ..Default::default()
+            },
+            4,
+        )
+        .unwrap()
+    }
+
+    fn line(reply: Option<Reply>) -> String {
+        match reply {
+            Some(Reply::Line(s)) => s,
+            other => panic!("expected a line reply, got {:?}", other.is_some()),
+        }
+    }
+
+    #[test]
+    fn repeated_prepare_is_a_cache_hit() {
+        let mut s = session();
+        let first = line(s.handle("prepare E(x,y) && Blue(x)"));
+        assert!(first.starts_with("prepared miss"), "{first}");
+        let second = line(s.handle("prepare E(x,y) && Blue(x)"));
+        assert!(second.starts_with("prepared hit"), "{second}");
+        // The initial query is still cached from Session::start.
+        let back = line(s.handle("prepare dist(x,y) <= 2 && Blue(y)"));
+        assert!(back.starts_with("prepared hit"), "{back}");
+        // Probes keep working against the switched snapshot.
+        let t = line(s.handle("test 0,3"));
+        assert!(t == "true" || t == "false", "{t}");
+    }
+
+    #[test]
+    fn metrics_include_cache_counters() {
+        let mut s = session();
+        s.handle("prepare E(x,y)");
+        s.handle("prepare E(x,y)");
+        let m = line(s.handle("metrics"));
+        assert!(m.contains("\"prepare_cache\":{"), "{m}");
+        assert!(m.contains("\"hits\":1"), "{m}");
+        assert!(m.contains("\"misses\":2"), "{m}"); // initial + E(x,y)
+        assert!(m.contains("\"requests\":{"), "{m}");
+    }
+
+    #[test]
+    fn bad_prepare_keeps_serving() {
+        let mut s = session();
+        let err = line(s.handle("prepare ((("));
+        assert!(err.starts_with("err usage: bad query"), "{err}");
+        let empty = line(s.handle("prepare"));
+        assert!(empty.starts_with("err usage: expected: prepare"), "{empty}");
+        let t = line(s.handle("test 0,3"));
+        assert!(t == "true" || t == "false", "{t}");
+    }
+
+    #[test]
+    fn help_advertises_prepare() {
+        let mut s = session();
+        let h = line(s.handle("help"));
+        assert!(h.contains("prepare QUERY"), "{h}");
+        assert!(h.contains("page"), "{h}");
+        // The base protocol help must stay a strict subset story.
+        assert!(PROTOCOL_HELP.contains("page"));
+    }
+}

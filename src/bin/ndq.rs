@@ -26,12 +26,13 @@ use nowhere_dense::graph::{generators, io, ColoredGraph, Vertex};
 use nowhere_dense::logic::parse_query;
 use nowhere_dense::serve::metrics::HISTOGRAM_BUCKETS;
 use nowhere_dense::serve::{
-    handle_command, HistogramSnapshot, Reply, Request, ServeError, ServeOpts, ServerPool, Snapshot,
-    PROTOCOL_HELP,
+    HistogramSnapshot, Reply, Request, ServeError, ServeOpts, ServerPool, Session, Snapshot,
+    DEFAULT_CACHE_CAPACITY, SESSION_PROTOCOL_HELP,
 };
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -120,6 +121,9 @@ GRAPH / QUERY OPTIONS (all modes):
       [--epsilon F]                      accuracy parameter (default 0.5)
       [--no-fallback]                    error on non-fragment queries
       [--budget-nodes N]                 cap preprocessing node expansions
+      [--prepare-threads N]              preprocessing worker threads
+                                         (0 = all cores; index is identical
+                                         for every thread count)
 
 ONE-SHOT OPTIONS:
       [--enumerate N]                    stream the first N answers
@@ -134,8 +138,10 @@ SERVE OPTIONS:
       [--max-inflight N]                 admission cap: queued+in-flight requests
       [--max-queued-bytes N]             admission cap: queued request bytes
       [--deadline-ms N]                  default per-request deadline
+      [--prepare-cache N]                cached prepared queries [8]
   protocol, one command per line:
-      test a,b,..   next a,b,..   page a,b,.. LIMIT   stats   metrics   quit
+      prepare QUERY   test a,b,..   next a,b,..   page a,b,.. LIMIT
+      stats   metrics   help   quit
 
 BENCH-SERVE OPTIONS (defaults in brackets):
       [--workers LIST]                   worker counts to compare [1,4]
@@ -182,6 +188,7 @@ struct Common {
     epsilon: f64,
     no_fallback: bool,
     budget_nodes: Option<u64>,
+    prepare_threads: usize,
 }
 
 impl Common {
@@ -194,6 +201,7 @@ impl Common {
             epsilon: 0.5,
             no_fallback: false,
             budget_nodes: None,
+            prepare_threads: 1,
         }
     }
 
@@ -225,6 +233,11 @@ impl Common {
                         .parse()
                         .map_err(|e| usage(format!("bad --budget-nodes: {e}")))?,
                 )
+            }
+            "--prepare-threads" => {
+                self.prepare_threads = val("--prepare-threads")?
+                    .parse()
+                    .map_err(|e| usage(format!("bad --prepare-threads: {e}")))?
             }
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -265,6 +278,7 @@ impl Common {
                 Some(cap) => Budget::UNLIMITED.with_node_expansions(cap),
                 None => Budget::UNLIMITED,
             },
+            threads: self.prepare_threads,
             ..PrepareOpts::default()
         })
     }
@@ -493,6 +507,7 @@ struct ServeArgs {
     max_inflight: Option<u64>,
     max_queued_bytes: Option<u64>,
     deadline_ms: Option<u64>,
+    prepare_cache: usize,
 }
 
 fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
@@ -503,6 +518,7 @@ fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
         max_inflight: None,
         max_queued_bytes: None,
         deadline_ms: None,
+        prepare_cache: DEFAULT_CACHE_CAPACITY,
     };
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
@@ -533,6 +549,9 @@ fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
             "--deadline-ms" => {
                 args.deadline_ms = Some(parse_u64("--deadline-ms", val("--deadline-ms")?)?)
             }
+            "--prepare-cache" => {
+                args.prepare_cache = parse_u64("--prepare-cache", val("--prepare-cache")?)? as usize
+            }
             other => return Err(usage(format!("unknown argument {other:?}"))),
         }
     }
@@ -554,15 +573,17 @@ fn admission_budget(args: &ServeArgs) -> Budget {
 }
 
 // The line protocol itself (parsing, formatting, dispatch) lives in
-// `nd_serve::protocol` so the conformance harness can fuzz the exact
-// production path in-process; the binary only owns the transports.
+// `nd_serve::protocol`/`nd_serve::session` so the conformance harness can
+// fuzz the exact production path in-process; the binary only owns the
+// transports. The session is shared — a `prepare` from one client
+// re-points probes for all of them, and the cache is process-wide.
 
-fn serve_stdin(pool: &ServerPool) -> Result<(), CliError> {
+fn serve_stdin(session: &Mutex<Session>) -> Result<(), CliError> {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout().lock();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| CliError::Io(format!("stdin: {e}")))?;
-        match handle_command(pool, &line) {
+        match session.lock().unwrap().handle(&line) {
             None => {}
             Some(Reply::Quit) => break,
             Some(Reply::Line(reply)) => {
@@ -575,7 +596,7 @@ fn serve_stdin(pool: &ServerPool) -> Result<(), CliError> {
     Ok(())
 }
 
-fn serve_tcp(pool: Arc<ServerPool>, addr: &str) -> Result<(), CliError> {
+fn serve_tcp(session: Arc<Mutex<Session>>, addr: &str) -> Result<(), CliError> {
     let listener =
         std::net::TcpListener::bind(addr).map_err(|e| CliError::Io(format!("bind {addr}: {e}")))?;
     eprintln!(
@@ -584,7 +605,7 @@ fn serve_tcp(pool: Arc<ServerPool>, addr: &str) -> Result<(), CliError> {
             .local_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| addr.to_string()),
-        PROTOCOL_HELP
+        SESSION_PROTOCOL_HELP
     );
     for stream in listener.incoming() {
         let stream = match stream {
@@ -595,7 +616,7 @@ fn serve_tcp(pool: Arc<ServerPool>, addr: &str) -> Result<(), CliError> {
                 continue;
             }
         };
-        let pool = Arc::clone(&pool);
+        let session = Arc::clone(&session);
         std::thread::spawn(move || {
             let peer = stream
                 .peer_addr()
@@ -608,7 +629,7 @@ fn serve_tcp(pool: Arc<ServerPool>, addr: &str) -> Result<(), CliError> {
             let mut writer = std::io::BufWriter::new(stream);
             for line in reader.lines() {
                 let Ok(line) = line else { break };
-                match handle_command(&pool, &line) {
+                match session.lock().unwrap().handle(&line) {
                     None => continue,
                     Some(Reply::Quit) => break,
                     Some(Reply::Line(reply)) => {
@@ -629,16 +650,47 @@ fn serve_tcp(pool: Arc<ServerPool>, addr: &str) -> Result<(), CliError> {
 
 fn cmd_serve(argv: Vec<String>) -> Result<(), CliError> {
     let args = parse_serve_args(argv)?;
-    let snap = args.common.build_snapshot()?;
+    let g = args.common.build_graph()?;
+    eprintln!(
+        "graph: {} vertices, {} edges, {} colors",
+        g.n(),
+        g.m(),
+        g.num_colors()
+    );
+    let query_src = args
+        .common
+        .query
+        .as_deref()
+        .ok_or_else(|| usage("missing --query (see --help)"))?;
+    let q = parse_query(query_src).map_err(|e| usage(e.to_string()))?;
+    eprintln!("query: {q}");
     let opts = ServeOpts {
         workers: args.workers,
         admission: admission_budget(&args),
     };
-    let pool = ServerPool::start(snap, &opts);
-    eprintln!("serving with {} workers; {}", pool.workers(), PROTOCOL_HELP);
+    let session = Session::start(
+        g.into_shared(),
+        &q,
+        args.common.prepare_opts()?,
+        opts,
+        args.prepare_cache,
+    )
+    .map_err(NdError::from)?;
+    eprintln!(
+        "prepared in {} ms (rung: {}); cache capacity {}",
+        session.snapshot().build_ms(),
+        session.snapshot().stats().rung.name(),
+        args.prepare_cache,
+    );
+    eprintln!(
+        "serving with {} workers; {}",
+        session.pool().workers(),
+        SESSION_PROTOCOL_HELP
+    );
+    let session = Mutex::new(session);
     match &args.listen {
-        None => serve_stdin(&pool),
-        Some(addr) => serve_tcp(Arc::new(pool), addr),
+        None => serve_stdin(&session),
+        Some(addr) => serve_tcp(Arc::new(session), addr),
     }
 }
 
@@ -964,6 +1016,14 @@ fn cmd_bench_serve(argv: Vec<String>) -> Result<(), CliError> {
     // Worker scaling needs cores to scale onto — on a single-core host
     // extra workers can only tie, so say so instead of crying regression.
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let max_workers = args.workers.iter().copied().max().unwrap_or(1);
+    let parallelism_limited = max_workers > cores;
+    if parallelism_limited {
+        eprintln!(
+            "warning: benchmarking {max_workers} workers on a {cores}-core host — \
+             worker counts above the core count cannot show real scaling"
+        );
+    }
     let single = runs.iter().find(|r| r.workers == 1);
     let multi = runs
         .iter()
@@ -994,6 +1054,7 @@ fn cmd_bench_serve(argv: Vec<String>) -> Result<(), CliError> {
         let mut o = JsonObject::new();
         o.field_str("bench", "serve")
             .field_u64("host_cores", cores as u64)
+            .field_bool("parallelism_limited", parallelism_limited)
             .field_u64("graph_n", snap.graph().n() as u64)
             .field_u64("graph_m", snap.graph().m() as u64)
             .field_str("query", snap.query_src())
