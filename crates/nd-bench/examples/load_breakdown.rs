@@ -1,0 +1,68 @@
+//! Stage-by-stage breakdown of warm index load time, for tuning the
+//! persistence hot path behind experiment A8.
+//!
+//! ```text
+//! cargo run --release -p nd-bench --example load_breakdown
+//! ```
+//!
+//! Set `LB_QUERY` to time a different fixture query.
+
+use nd_bench::*;
+use nd_core::{PrepareOpts, SharedPreparedQuery};
+use nd_graph::graph::ColoredGraph;
+use nd_logic::parse_query;
+
+const E5_QUERY: &str = "dist(x,y) > 2 && Blue(y)";
+use std::time::Instant;
+
+fn main() {
+    let query_src = std::env::var("LB_QUERY").unwrap_or_else(|_| E5_QUERY.to_string());
+    let q = parse_query(&query_src).expect("fixture query parses");
+    for (f, n) in [
+        (GraphFamily::Grid, 2_000usize),
+        (GraphFamily::BoundedDegree4, 2_000),
+        (GraphFamily::DenseGnm, 800),
+        (GraphFamily::DenseGnm, 1_600),
+        (GraphFamily::DenseGnm, 2_400),
+        (GraphFamily::DenseGnm, 3_200),
+    ] {
+        let g = f.build_colored(n, 16).into_shared();
+        let t = Instant::now();
+        let pq = SharedPreparedQuery::prepare(g, &q, &PrepareOpts::default())
+            .expect("fixture prepare succeeds");
+        let t_cold = t.elapsed();
+        let bytes = pq
+            .save_index_bytes(&q, &query_src)
+            .expect("fixture save succeeds");
+
+        let t = Instant::now();
+        let c = nd_persist::parse_container(&bytes).expect("container parses");
+        let t_container = t.elapsed();
+
+        let t = Instant::now();
+        let graph_payload = c.section(*b"GRPH").expect("graph section");
+        let mut r = nd_persist::Reader::new(graph_payload);
+        let decoded = ColoredGraph::read_from(&mut r).expect("graph decodes");
+        let t_graph = t.elapsed();
+        assert!(decoded.n() > 0);
+
+        let t = Instant::now();
+        let loaded = SharedPreparedQuery::load_index_bytes(&bytes).expect("index loads");
+        let t_total = t.elapsed();
+        assert_eq!(loaded.query, q);
+
+        let engine_payload = c.section(*b"ENGN").expect("engine section");
+        println!(
+            "{:>6} n={n}: cold {:>8} | warm total {:>8} | container crc {:>8} | graph {:>8} ({} B) | engine+rest {:>8} ({} B) | file {} B",
+            f.name(),
+            fmt_dur(t_cold),
+            fmt_dur(t_total),
+            fmt_dur(t_container),
+            fmt_dur(t_graph),
+            graph_payload.len(),
+            fmt_dur(t_total.saturating_sub(t_container).saturating_sub(t_graph)),
+            engine_payload.len(),
+            bytes.len(),
+        );
+    }
+}

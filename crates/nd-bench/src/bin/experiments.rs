@@ -7,6 +7,7 @@
 //! cargo run --release -p nd-bench --bin experiments -- --quick # smaller sweeps
 //! cargo run --release -p nd-bench --bin experiments -- --json  # + @json lines
 //! cargo run --release -p nd-bench --bin experiments -- a7 --smoke --json
+//! cargo run --release -p nd-bench --bin experiments -- a8 --smoke   # warm restart
 //! ```
 //!
 //! `--smoke` is an alias for `--quick` (CI-sized sweeps).
@@ -100,10 +101,18 @@ fn main() {
     if want("a6") {
         a6_conform(&cfg);
     }
-    if want("a7") {
-        a7_prepare(&cfg);
+    // A7 and A8 share one results document (`BENCH_prepare.json`):
+    // whichever subset runs writes the sections it produced.
+    let a7_doc = want("a7").then(|| a7_prepare(&cfg));
+    let a8_doc = want("a8").then(|| a8_warm_start(&cfg));
+    if a7_doc.is_some() || a8_doc.is_some() {
+        write_bench_prepare(&cfg, a7_doc, a8_doc);
     }
 }
+
+/// Thread counts swept by A7; also decides `parallelism_limited` in the
+/// written report.
+const A7_THREADS: [usize; 3] = [1, 2, 4];
 
 /// E1 — Storing Theorem (Thm 3.1): init ~ |Dom|·n^ε, lookup flat in n.
 fn e1_storing(cfg: &Config) {
@@ -1018,17 +1027,18 @@ fn a7_bfs_vecvec(adj: &[Vec<u32>], sources: &[u32]) -> u64 {
 /// worker threads over far-constraint queries (cover + kernels + skip
 /// pointers all build), with the parallel index *asserted* structurally
 /// identical to the sequential one, plus a CSR-vs-`Vec<Vec<_>>` adjacency
-/// microbenchmark. Records the whole document in `BENCH_prepare.json`.
+/// microbenchmark. Returns the `(runs, csr_microbench)` JSON fragments
+/// for [`write_bench_prepare`].
 ///
 /// Honesty: the report always carries `host_cores` and
 /// `parallelism_limited` — on a single-core host the extra threads cannot
 /// win, and the JSON says so rather than hiding the speedup column.
-fn a7_prepare(cfg: &Config) {
+fn a7_prepare(cfg: &Config) -> (String, String) {
     use nd_graph::json::{JsonArray, JsonObject};
 
     println!("\n[A7] parallel prepare: wall clock vs threads (identical indexes)");
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let thread_counts = [1usize, 2, 4];
+    let thread_counts = A7_THREADS;
     let max_threads = thread_counts.iter().copied().max().unwrap_or(1);
     let parallelism_limited = max_threads > cores;
     println!(
@@ -1150,16 +1160,138 @@ fn a7_prepare(cfg: &Config) {
         micro.push_raw(&o.finish());
     }
 
+    (runs.finish(), micro.finish())
+}
+
+/// A8 — warm restart (PR 6): cold prepare vs `--save`/`--load`, measured
+/// to the *first answered probe* (the restart-latency a server operator
+/// cares about). Loading a saved index skips the cover/kernel/skip-pointer
+/// builds entirely and only pays decode + re-validation, so the win is
+/// largest exactly where prepare is most expensive — the dense contrast
+/// family. Asserted there: warm start is ≥10x faster than cold.
+fn a8_warm_start(cfg: &Config) -> String {
+    use nd_core::SharedPreparedQuery;
+    use nd_graph::json::{JsonArray, JsonObject};
+    use std::sync::Arc;
+
+    println!("\n[A8] warm restart: cold prepare vs load-from-disk, to first probe");
+    let t = Table::new(
+        &["family", "n", "cold", "warm", "speedup", "bytes", "rung"],
+        &[7, 8, 9, 9, 9, 10, 9],
+    );
+    let q = parse_query(E5_QUERY).unwrap();
+    let n_sparse = if cfg.quick { 2_000 } else { 16_000 };
+    // Dense prepare scales ~n^1.7 while the saved index (and hence warm
+    // decode) scales ~n^2 bytes, so the contrast is sized where the gap is
+    // widest without making the quick run crawl.
+    let n_dense = 2_400;
+    let families = [
+        GraphFamily::Grid,
+        GraphFamily::RandomTree,
+        GraphFamily::BoundedDegree4,
+        GraphFamily::DenseGnm,
+    ];
+    let mut runs = JsonArray::new();
+    for &f in &families {
+        let n = if f.sparse() { n_sparse } else { n_dense };
+        let g = f.build_colored(n, 16).into_shared();
+        let probe = [0u32, 1];
+        // Untimed warm-up (first-touch page faults, allocator growth),
+        // exactly as A7 does for its threads=1 baseline.
+        std::hint::black_box(
+            SharedPreparedQuery::prepare(Arc::clone(&g), &q, &PrepareOpts::default())
+                .expect("a8 warm-up"),
+        );
+        // Cold start: build the index from the graph, answer one probe.
+        let ((cold_pq, cold_first), cold) = time_it(|| {
+            let pq = SharedPreparedQuery::prepare(Arc::clone(&g), &q, &PrepareOpts::default())
+                .expect("a8 prepare");
+            let first = pq.test(&probe);
+            (pq, first)
+        });
+        let path =
+            std::env::temp_dir().join(format!("nd-a8-{}-{}.idx", f.name(), std::process::id()));
+        cold_pq.save_index(&q, E5_QUERY, &path).expect("a8 save");
+        let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+        // Warm start: load the saved index, answer the same probe.
+        let ((loaded, warm_first), warm) = time_it(|| {
+            let loaded = SharedPreparedQuery::load_index(&path).expect("a8 load");
+            let first = loaded.prepared.test(&probe);
+            (loaded, first)
+        });
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            cold_first,
+            warm_first,
+            "A8: warm index diverged from cold on {}",
+            f.name()
+        );
+        let rung = loaded.prepared.stats().rung.name().to_string();
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        if !f.sparse() {
+            assert!(
+                speedup >= 10.0,
+                "A8: warm start on {} only {speedup:.1}x faster than cold prepare \
+                 (acceptance floor is 10x)",
+                f.name()
+            );
+        }
+        t.row(&[
+            f.name().to_string(),
+            format!("{n}"),
+            fmt_dur(cold),
+            fmt_dur(warm),
+            format!("{speedup:.1}x"),
+            format!("{bytes}"),
+            rung.clone(),
+        ]);
+        emit_json(cfg.json, "a8", |o| {
+            o.field_str("family", f.name())
+                .field_u64("n", n as u64)
+                .field_f64("cold_s", cold.as_secs_f64())
+                .field_f64("warm_s", warm.as_secs_f64())
+                .field_f64("warm_speedup", speedup)
+                .field_u64("index_bytes", bytes)
+                .field_str("rung", &rung);
+        });
+        let mut o = JsonObject::new();
+        o.field_str("family", f.name())
+            .field_u64("n", n as u64)
+            .field_str("query", E5_QUERY)
+            .field_f64("cold_s", cold.as_secs_f64())
+            .field_f64("warm_s", warm.as_secs_f64())
+            .field_f64("warm_speedup", speedup)
+            .field_u64("index_bytes", bytes)
+            .field_str("rung", &rung)
+            .field_bool("dense", !f.sparse())
+            .field_bool("first_probe_identical", cold_first == warm_first);
+        runs.push_raw(&o.finish());
+    }
+    runs.finish()
+}
+
+/// Write `BENCH_prepare.json`: host facts plus whichever of the A7
+/// (`runs`, `csr_microbench`) and A8 (`warm_start`) sections ran.
+fn write_bench_prepare(cfg: &Config, a7: Option<(String, String)>, a8: Option<String>) {
+    use nd_graph::json::JsonObject;
+
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let max_threads = A7_THREADS.iter().copied().max().unwrap_or(1);
     let mut doc = JsonObject::new();
     doc.field_str("bench", "prepare")
         .field_u64("host_cores", cores as u64)
-        .field_bool("parallelism_limited", parallelism_limited)
-        .field_bool("quick", cfg.quick)
-        .field_raw("runs", &runs.finish())
-        .field_raw("csr_microbench", &micro.finish());
+        .field_bool("parallelism_limited", max_threads > cores)
+        .field_bool("quick", cfg.quick);
+    if let Some((runs, micro)) = a7 {
+        doc.field_raw("runs", &runs)
+            .field_raw("csr_microbench", &micro);
+    }
+    if let Some(warm) = a8 {
+        doc.field_raw("warm_start", &warm);
+    }
     let path = "BENCH_prepare.json";
     match std::fs::write(path, doc.finish() + "\n") {
-        Ok(()) => println!("  wrote {path}"),
-        Err(e) => println!("  WARNING: could not write {path}: {e}"),
+        Ok(()) => println!("\n  wrote {path}"),
+        Err(e) => println!("\n  WARNING: could not write {path}: {e}"),
     }
 }

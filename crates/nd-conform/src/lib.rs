@@ -3,8 +3,9 @@
 //!
 //! The workspace has many ways to answer the same FO query: the indexed
 //! engine at several `ε` values, with and without extendability pruning,
-//! the budget-degradation ladder of PR 1, the naive baselines, and the
-//! `nd-serve` snapshot behind the line protocol. They are all supposed to
+//! the budget-degradation ladder of PR 1, the naive baselines, the
+//! `load(save(x))` persistence round trip of the on-disk index format,
+//! and the `nd-serve` snapshot behind the line protocol. They are all supposed to
 //! agree *exactly* — same solution set, same lexicographic order, same
 //! `next_solution` successors, same page boundaries. This crate generates
 //! seeded random (graph, query) cases, diffs every configuration against
@@ -27,7 +28,7 @@
 pub mod protocol_fuzz;
 
 use nd_baseline::{MaterializingEnumerator, NaiveEnumerator, NaiveTester};
-use nd_core::{Budget, PrepareOpts, PreparedQuery};
+use nd_core::{Budget, PrepareOpts, PreparedQuery, SharedPreparedQuery};
 use nd_graph::json::{JsonArray, JsonObject};
 use nd_graph::{generators, ColoredGraph, Vertex};
 use nd_logic::ast::Query;
@@ -35,6 +36,7 @@ use nd_logic::grammar::{is_deletion_monotone, random_query, GrammarOpts};
 use nd_logic::shrink_query;
 use nd_serve::protocol::{fmt_tuple, handle_command, Reply};
 use nd_serve::{ServeOpts, ServerPool, Snapshot};
+use std::borrow::Borrow;
 
 // ---------------------------------------------------------------------
 // Seeded determinism.
@@ -281,11 +283,11 @@ trait Engine {
     fn page(&mut self, from: &[Vertex], limit: usize) -> Option<Result<Vec<Vec<Vertex>>, String>>;
 }
 
-struct PreparedEngine<'g> {
-    pq: PreparedQuery<&'g ColoredGraph>,
+struct PreparedEngine<G: Borrow<ColoredGraph>> {
+    pq: PreparedQuery<G>,
 }
 
-impl Engine for PreparedEngine<'_> {
+impl<G: Borrow<ColoredGraph>> Engine for PreparedEngine<G> {
     fn enumerate(&mut self) -> Result<Vec<Vec<Vertex>>, String> {
         Ok(self.pq.enumerate().collect())
     }
@@ -456,6 +458,12 @@ enum Config {
     StrictNoFallback,
     NaiveStream,
     ServeProtocol,
+    /// The default indexed engine pushed through the on-disk format in
+    /// memory — `save_index_bytes` then `load_index_bytes` — so every
+    /// case also proves `load(save(x))` answers exactly like `x`, the
+    /// decoded query matches the source, and re-saving the loaded index
+    /// is bit-identical (the `ndq --save`/`--load`/`swap` path).
+    PersistRoundTrip,
 }
 
 impl Config {
@@ -471,6 +479,7 @@ impl Config {
             Config::StrictNoFallback => "strict-nofallback".into(),
             Config::NaiveStream => "naive-stream".into(),
             Config::ServeProtocol => "serve-protocol".into(),
+            Config::PersistRoundTrip => "persist-roundtrip".into(),
         }
     }
 
@@ -503,7 +512,9 @@ impl Config {
                 allow_fallback: false,
                 ..PrepareOpts::default()
             },
-            Config::NaiveStream | Config::ServeProtocol => PrepareOpts::default(),
+            Config::NaiveStream | Config::ServeProtocol | Config::PersistRoundTrip => {
+                PrepareOpts::default()
+            }
         }
     }
 }
@@ -533,6 +544,7 @@ fn configs(serve: bool, arity: usize) -> Vec<Config> {
         Config::TightBudget,
         Config::StrictNoFallback,
         Config::NaiveStream,
+        Config::PersistRoundTrip,
     ];
     if serve && arity >= 1 {
         cs.push(Config::ServeProtocol);
@@ -561,6 +573,35 @@ fn build_engine<'g>(
             Ok(Box::new(ServeEngine {
                 pool,
                 arity: q.arity(),
+            }))
+        }
+        Config::PersistRoundTrip => {
+            let shared =
+                SharedPreparedQuery::prepare(g.clone().into_shared(), q, &PrepareOpts::default())
+                    .map_err(|e| e.to_string())?;
+            let query_src = q.to_string();
+            let bytes = shared
+                .save_index_bytes(q, &query_src)
+                .map_err(|e| format!("save: {e}"))?;
+            let loaded =
+                SharedPreparedQuery::load_index_bytes(&bytes).map_err(|e| format!("load: {e}"))?;
+            if loaded.query != *q {
+                return Err(format!(
+                    "decoded query {} differs from source {q}",
+                    loaded.query
+                ));
+            }
+            // The format is deterministic: re-saving the loaded index
+            // must reproduce the original bytes exactly.
+            let resaved = loaded
+                .prepared
+                .save_index_bytes(&loaded.query, &loaded.query_src)
+                .map_err(|e| format!("re-save: {e}"))?;
+            if resaved != bytes {
+                return Err("re-saved index is not bit-identical to the original".into());
+            }
+            Ok(Box::new(PreparedEngine {
+                pq: loaded.prepared,
             }))
         }
         _ => {

@@ -10,7 +10,12 @@
 //! * admission control and deadlines fail *typed and deterministic*: a
 //!   zero-capacity pool answers `err overloaded:`, a zero-deadline pool
 //!   answers `err deadline:` — exercised without any real timing races
-//!   (the deadline is expired at submit time by construction).
+//!   (the deadline is expired at submit time by construction);
+//! * the session verbs of PR 6 hold the same line: `swap` with a
+//!   malformed path (empty, non-existent, a directory, seeded junk)
+//!   replies a typed `err` line without advancing the epoch, a valid
+//!   `swap` advances it, and after `shutdown` every verb keeps replying
+//!   typed `err shutdown:` lines instead of dropping the session.
 //!
 //! Everything is seeded: the same `(seed, iterations)` replays the same
 //! byte sequences, so a failure is a reproduction recipe.
@@ -18,9 +23,10 @@
 use crate::{ConformReport, Disagreement};
 use nd_core::{Budget, PrepareOpts};
 use nd_graph::generators;
+use nd_graph::ColoredGraph;
 use nd_logic::parse_query;
 use nd_serve::protocol::{handle_command, Reply};
-use nd_serve::{ServeOpts, ServerPool, Snapshot};
+use nd_serve::{ServeOpts, ServerPool, Session, Snapshot};
 use std::time::Duration;
 
 /// splitmix64, same stream discipline as the main harness.
@@ -40,19 +46,40 @@ impl Stream {
     }
 }
 
-fn fixture_pool(admission: Budget) -> ServerPool {
+const FIXTURE_QUERY: &str = "Blue(x) && dist(x,y) <= 2";
+
+fn fixture_graph() -> ColoredGraph {
     let mut g = generators::cycle(12);
     g.add_color(vec![0, 3, 6, 9], Some("Blue".into()));
-    let q = parse_query("Blue(x) && dist(x,y) <= 2").unwrap();
-    let snapshot =
-        Snapshot::build_owned(g, &q, &PrepareOpts::default()).expect("fixture must prepare");
+    g
+}
+
+fn fixture_pool(admission: Budget) -> ServerPool {
+    let q = parse_query(FIXTURE_QUERY).unwrap();
+    let snapshot = Snapshot::build_owned(fixture_graph(), &q, &PrepareOpts::default())
+        .expect("fixture must prepare");
     ServerPool::start(
         snapshot,
         &ServeOpts {
             workers: 1,
             admission,
+            ..Default::default()
         },
     )
+}
+
+fn fixture_session() -> Session {
+    Session::start(
+        fixture_graph().into_shared(),
+        &parse_query(FIXTURE_QUERY).unwrap(),
+        PrepareOpts::default(),
+        ServeOpts {
+            workers: 1,
+            ..Default::default()
+        },
+        4,
+    )
+    .expect("fixture must prepare")
 }
 
 /// One seeded protocol line: valid commands, near-valid mutations, and
@@ -137,7 +164,7 @@ pub fn fuzz_protocol(seed: u64, iterations: usize) -> ConformReport {
                 config: "protocol-fuzz".into(),
                 check: "robustness".into(),
                 graph: "cycle(12)".into(),
-                query: "Blue(x) && dist(x,y) <= 2".into(),
+                query: FIXTURE_QUERY.into(),
                 minimized: Some(line.clone()),
                 detail,
             });
@@ -190,7 +217,107 @@ pub fn fuzz_protocol(seed: u64, iterations: usize) -> ConformReport {
         }
     }
 
+    fuzz_session_verbs(&mut s, seed, &mut report);
+
     report
+}
+
+/// The session-level half of the robustness contract (PR 6): `swap` with
+/// malformed paths is typed and epoch-preserving, a valid `swap` advances
+/// the epoch, and `shutdown` degrades every later verb to a typed
+/// `err shutdown:` reply — the session never drops, never panics.
+fn fuzz_session_verbs(s: &mut Stream, seed: u64, report: &mut ConformReport) {
+    let mut session = fixture_session();
+    report.configs_checked += 1;
+
+    let expect = |session: &mut Session, report: &mut ConformReport, line: &str, want: &str| {
+        report.probes += 1;
+        match session.handle(line) {
+            Some(Reply::Line(r)) if r.starts_with(want) => {}
+            other => report.disagreements.push(protocol_failure(
+                seed,
+                line,
+                format!("expected {want:?}.., got {:?}", render(other)),
+            )),
+        }
+    };
+
+    // Malformed paths: empty (usage error), a file that does not exist,
+    // a directory, and seeded junk names — all typed, none fatal.
+    let tmp = std::env::temp_dir();
+    let missing = tmp.join(format!("nd-fuzz-missing-{}.idx", std::process::id()));
+    expect(&mut session, report, "swap", "err usage:");
+    expect(
+        &mut session,
+        report,
+        &format!("swap {}", missing.display()),
+        "err read:",
+    );
+    expect(
+        &mut session,
+        report,
+        &format!("swap {}", tmp.display()),
+        "err read:",
+    );
+    for _ in 0..16 {
+        let len = 1 + s.below(12) as usize;
+        let junk: String = (0..len)
+            .map(|_| char::from(b'a' + (s.below(26) as u8)))
+            .collect();
+        let line = format!("swap {}", tmp.join(format!("nd-fuzz-{junk}")).display());
+        expect(&mut session, report, &line, "err read:");
+    }
+    if session.epoch() != 0 {
+        report.disagreements.push(protocol_failure(
+            seed,
+            "swap",
+            format!("failed swaps advanced the epoch to {}", session.epoch()),
+        ));
+    }
+    // The original snapshot still serves after every rejected swap.
+    report.probes += 1;
+    match session.handle("test 0,1") {
+        Some(Reply::Line(r)) if r == "true" || r == "false" => {}
+        other => report.disagreements.push(protocol_failure(
+            seed,
+            "test 0,1",
+            format!("probe after rejected swaps: {:?}", render(other)),
+        )),
+    }
+
+    // A valid index swaps in and advances the epoch.
+    let saved = tmp.join(format!("nd-fuzz-swap-{}.idx", std::process::id()));
+    let q = parse_query(FIXTURE_QUERY).unwrap();
+    report.probes += 1;
+    match session
+        .snapshot()
+        .prepared()
+        .save_index(&q, FIXTURE_QUERY, &saved)
+    {
+        Ok(()) => expect(
+            &mut session,
+            report,
+            &format!("swap {}", saved.display()),
+            "swapped epoch=1 ",
+        ),
+        Err(e) => report.disagreements.push(protocol_failure(
+            seed,
+            "swap",
+            format!("saving the fixture index failed: {e}"),
+        )),
+    }
+    std::fs::remove_file(&saved).ok();
+
+    // Graceful shutdown: drains, then every verb is a typed rejection.
+    expect(&mut session, report, "shutdown", "shutdown drained=");
+    expect(&mut session, report, "test 0,1", "err shutdown:");
+    expect(
+        &mut session,
+        report,
+        &format!("swap {}", missing.display()),
+        "err shutdown:",
+    );
+    expect(&mut session, report, "prepare Blue(x)", "err shutdown:");
 }
 
 fn render(r: Option<Reply>) -> String {
@@ -207,7 +334,7 @@ fn protocol_failure(seed: u64, line: &str, detail: String) -> Disagreement {
         config: "protocol-fuzz".into(),
         check: "robustness".into(),
         graph: "cycle(12)".into(),
-        query: "Blue(x) && dist(x,y) <= 2".into(),
+        query: FIXTURE_QUERY.into(),
         minimized: Some(line.to_string()),
         detail,
     }

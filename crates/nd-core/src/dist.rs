@@ -88,11 +88,34 @@ pub struct OracleStats {
 enum Node {
     /// Base case: per-vertex sorted `r`-ball membership lists.
     Naive(Vec<Box<[Vertex]>>),
+    /// Base case with near-full balls (dense graphs): the same tables as
+    /// [`Node::Naive`] packed as one bitmap row per vertex. Chosen whenever
+    /// the bitmap is the smaller representation; membership is `O(1)` and
+    /// warm restarts copy rows off the wire instead of re-expanding lists.
+    NaiveDense(BallGrid),
     /// Degenerate base case: answer by capped BFS (exact, not `O(1)`;
     /// only when ball tables would blow the memory cap).
     Bfs(ColoredGraph),
     /// Recursive case (Section 4.2.1 steps 2–5).
     Split(Box<SplitNode>),
+}
+
+/// Row-major bitmap of `n` balls over an `n`-vertex base graph.
+struct BallGrid {
+    n: usize,
+    words_per_row: usize,
+    bits: Box<[u64]>,
+}
+
+impl BallGrid {
+    fn contains(&self, a: Vertex, b: Vertex) -> bool {
+        let w = self.bits[a as usize * self.words_per_row + (b as usize >> 6)];
+        w >> (b as usize & 63) & 1 == 1
+    }
+
+    fn row(&self, a: usize) -> &[u64] {
+        &self.bits[a * self.words_per_row..(a + 1) * self.words_per_row]
+    }
 }
 
 struct SplitNode {
@@ -159,6 +182,47 @@ impl DistOracle {
         test_node(&self.root, self.r, a, b)
     }
 
+    /// Append the oracle's binary encoding to `w` (DESIGN.md §9).
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        w.u32(self.r);
+        w.u64(self.stats.total_vertices as u64);
+        w.u64(self.stats.total_edges as u64);
+        w.u64(self.stats.base_cases as u64);
+        w.u64(self.stats.bfs_fallbacks as u64);
+        w.u32(self.stats.depth);
+        w.u64(self.stats.bags as u64);
+        write_node(&self.root, w);
+    }
+
+    /// Decode an oracle over an `n`-vertex graph (`n` comes from the
+    /// already-validated graph section, never from the file, so a corrupt
+    /// count cannot drive allocations). Re-validates every invariant
+    /// `test` relies on: per-level vertex counts, bag/sub embeddings,
+    /// recoloring-table lengths.
+    pub fn read_from(
+        r: &mut nd_persist::Reader<'_>,
+        n: usize,
+    ) -> Result<DistOracle, nd_persist::PersistError> {
+        let radius = r.u32("oracle radius")?;
+        let to_usize = |v: u64, what: &str| {
+            usize::try_from(v).map_err(|_| nd_persist::malformed(format!("{what} overflows")))
+        };
+        let stats = OracleStats {
+            total_vertices: to_usize(r.u64("oracle total vertices")?, "oracle total vertices")?,
+            total_edges: to_usize(r.u64("oracle total edges")?, "oracle total edges")?,
+            base_cases: to_usize(r.u64("oracle base cases")?, "oracle base cases")?,
+            bfs_fallbacks: to_usize(r.u64("oracle bfs fallbacks")?, "oracle bfs fallbacks")?,
+            depth: r.u32("oracle depth")?,
+            bags: to_usize(r.u64("oracle bags")?, "oracle bags")?,
+        };
+        let root = read_node(r, n, 0)?;
+        Ok(DistOracle {
+            r: radius,
+            root,
+            stats,
+        })
+    }
+
     /// Is `dist(a, b) ≤ d` for some `d ≤ r`? The oracle only indexes the
     /// single radius `r`; finer tests fall back to capped BFS from the
     /// smaller-degree endpoint — still cheap, but not `O(1)`; the engine
@@ -212,6 +276,24 @@ fn build_node(
             balls.push(ball.into_boxed_slice());
         }
         tracker.charge_memory(Phase::DistOracle, 4 * entries as u64)?;
+        // Same criterion as the on-disk `sorted_set` encoding: when the
+        // bitmap form is smaller overall, keep it in memory too, so saves
+        // stream rows out and loads stream them back in without expansion.
+        let words_per_row = g.n().div_ceil(64);
+        if g.n() * words_per_row * 8 < 4 * entries {
+            let mut bits = vec![0u64; g.n() * words_per_row];
+            for (v, ball) in balls.iter().enumerate() {
+                let row = &mut bits[v * words_per_row..(v + 1) * words_per_row];
+                for &u in ball.iter() {
+                    row[(u / 64) as usize] |= 1u64 << (u % 64);
+                }
+            }
+            return Ok(Node::NaiveDense(BallGrid {
+                n: g.n(),
+                words_per_row,
+                bits: bits.into_boxed_slice(),
+            }));
+        }
         return Ok(Node::Naive(balls));
     }
 
@@ -267,9 +349,147 @@ fn build_node(
     Ok(Node::Split(Box::new(SplitNode { cover, bags })))
 }
 
+/// Decode-side recursion cap. The builder never exceeds `max_rounds`
+/// (default 12) levels; hostile files must not be able to recurse the
+/// decoder off the stack.
+const MAX_DECODE_DEPTH: u32 = 64;
+
+fn write_node(node: &Node, w: &mut nd_persist::Writer) {
+    match node {
+        Node::Naive(balls) => {
+            w.u8(0);
+            w.seq_len(balls.len());
+            // Radius-r balls on dense graphs are near-full vertex sets;
+            // the adaptive encoding stores those as bitmaps, which is
+            // what keeps warm restarts fast on the dense families.
+            for ball in balls {
+                w.sorted_set(ball, balls.len() as u32);
+            }
+        }
+        Node::NaiveDense(grid) => {
+            w.u8(3);
+            w.seq_len(grid.n);
+            for a in 0..grid.n {
+                w.sorted_set_words(grid.row(a), grid.n as u32);
+            }
+        }
+        Node::Bfs(g) => {
+            w.u8(1);
+            g.write_into(w);
+        }
+        Node::Split(split) => {
+            w.u8(2);
+            split.cover.write_into(w);
+            w.seq_len(split.bags.len());
+            for bag in &split.bags {
+                bag.sub.write_into(w);
+                w.u32(bag.s);
+                w.byte_slice(&bag.ri);
+                write_node(&bag.inner, w);
+            }
+        }
+    }
+}
+
+/// Decode one recursion level over an `n`-vertex graph. Every structural
+/// property `test_node` indexes by — ball-table length, subgraph size,
+/// `X ∖ {s}` embeddings — is re-checked here; the membership store is the
+/// one structure not cross-validated (see `test_node`), which degrades to
+/// wrong-but-safe answers on forged payloads.
+fn read_node(
+    r: &mut nd_persist::Reader<'_>,
+    n: usize,
+    depth: u32,
+) -> Result<Node, nd_persist::PersistError> {
+    use nd_persist::malformed;
+    if depth > MAX_DECODE_DEPTH {
+        return Err(malformed("oracle recursion exceeds the depth cap"));
+    }
+    Ok(match r.u8("oracle node tag")? {
+        0 => {
+            let count = r.seq_len(8, "oracle ball count")?;
+            if count != n {
+                return Err(malformed(
+                    "oracle ball table does not match the vertex count",
+                ));
+            }
+            let mut balls = Vec::with_capacity(count);
+            for _ in 0..count {
+                let ball = r.sorted_set(n as u32, "oracle ball")?;
+                balls.push(ball.into_boxed_slice());
+            }
+            Node::Naive(balls)
+        }
+        1 => {
+            let g = ColoredGraph::read_from(r)?;
+            if g.n() != n {
+                return Err(malformed(
+                    "oracle bfs graph does not match the vertex count",
+                ));
+            }
+            Node::Bfs(g)
+        }
+        2 => {
+            let cover = Cover::read_from(r)?;
+            if cover.n() != n {
+                return Err(malformed("oracle cover does not match the vertex count"));
+            }
+            let num_bags = r.seq_len(1, "oracle bag count")?;
+            if num_bags != cover.num_bags() {
+                return Err(malformed("oracle bag list does not match the cover"));
+            }
+            let mut bags = Vec::with_capacity(num_bags);
+            for id in 0..num_bags {
+                let sub = InducedSubgraph::read_from(r)?;
+                let s = r.u32("oracle splitter vertex")?;
+                let ri = r.byte_slice("oracle recoloring table")?;
+                let verts = &cover.bag(id as u32).verts;
+                if verts.binary_search(&s).is_err() {
+                    return Err(malformed("oracle splitter vertex outside its bag"));
+                }
+                // sub must be exactly X ∖ {s}: the test path localizes any
+                // bag member ≠ s through it and unwraps the result.
+                if sub.n() + 1 != verts.len()
+                    || !verts.iter().filter(|&&v| v != s).eq(sub.global_ids.iter())
+                {
+                    return Err(malformed(
+                        "oracle subgraph is not the bag minus its splitter",
+                    ));
+                }
+                if ri.len() != sub.n() {
+                    return Err(malformed("oracle recoloring table has the wrong length"));
+                }
+                let inner = read_node(r, sub.n(), depth + 1)?;
+                bags.push(BagNode { sub, s, ri, inner });
+            }
+            Node::Split(Box::new(SplitNode { cover, bags }))
+        }
+        3 => {
+            let count = r.seq_len(8, "oracle ball count")?;
+            if count != n {
+                return Err(malformed(
+                    "oracle ball table does not match the vertex count",
+                ));
+            }
+            let words_per_row = n.div_ceil(64);
+            let mut bits = vec![0u64; count * words_per_row];
+            for row in bits.chunks_exact_mut(words_per_row.max(1)) {
+                r.sorted_set_into_words(n as u32, row, "oracle ball")?;
+            }
+            Node::NaiveDense(BallGrid {
+                n,
+                words_per_row,
+                bits: bits.into_boxed_slice(),
+            })
+        }
+        other => return Err(malformed(format!("unknown oracle node tag {other}"))),
+    })
+}
+
 fn test_node(node: &Node, r: u32, a: Vertex, b: Vertex) -> bool {
     match node {
         Node::Naive(balls) => balls[a as usize].binary_search(&b).is_ok(),
+        Node::NaiveDense(grid) => grid.contains(a, b),
         Node::Bfs(g) => BfsScratch::new(g.n()).distance_capped(g, a, b, r).is_some(),
         Node::Split(split) => {
             // Localize to the canonical bag of a: N_r(a) ⊆ X(a).
@@ -279,19 +499,26 @@ fn test_node(node: &Node, r: u32, a: Vertex, b: Vertex) -> bool {
             }
             let bag = &split.bags[id as usize];
             let s = bag.s;
+            // On an oracle built in-process the bag always contains both
+            // endpoints here. On a decoded oracle the membership store is
+            // not cross-validated against the bag lists (doing so would
+            // cost a trie probe per member at load), so a forged payload
+            // behind intact CRCs can make `contains` lie — answer false
+            // rather than panic in that case.
             match (a == s, b == s) {
                 (true, true) => true,
-                (true, false) => {
-                    let lb = bag.sub.to_local(b).expect("b is in the bag");
-                    bag.ri[lb as usize] as u32 <= r
-                }
-                (false, true) => {
-                    let la = bag.sub.to_local(a).expect("a is in the bag");
-                    bag.ri[la as usize] as u32 <= r
-                }
+                (true, false) => match bag.sub.to_local(b) {
+                    Some(lb) => bag.ri[lb as usize] as u32 <= r,
+                    None => false,
+                },
+                (false, true) => match bag.sub.to_local(a) {
+                    Some(la) => bag.ri[la as usize] as u32 <= r,
+                    None => false,
+                },
                 (false, false) => {
-                    let la = bag.sub.to_local(a).expect("a is in the bag");
-                    let lb = bag.sub.to_local(b).expect("b is in the bag");
+                    let (Some(la), Some(lb)) = (bag.sub.to_local(a), bag.sub.to_local(b)) else {
+                        return false;
+                    };
                     if bag.ri[la as usize] as u32 + bag.ri[lb as usize] as u32 <= r {
                         return true; // path through s_X
                     }
@@ -403,6 +630,66 @@ mod tests {
         assert!(s.depth >= 1);
         assert!(s.bags > 0);
         assert_eq!(oracle.radius(), 2);
+    }
+
+    #[test]
+    fn binary_codec_roundtrips_recursive_oracles() {
+        for (g, r) in [
+            (generators::grid(8, 8), 2u32),
+            (generators::random_tree(60, 7), 3),
+            (generators::path(0), 1),
+        ] {
+            let oracle = DistOracle::build(&g, r, &recursive_opts());
+            let mut w = nd_persist::Writer::new();
+            oracle.write_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut rd = nd_persist::Reader::new(&bytes);
+            let back = DistOracle::read_from(&mut rd, g.n()).unwrap();
+            rd.finish().unwrap();
+            assert_eq!(back.radius(), r);
+            assert_eq!(back.stats().total_vertices, oracle.stats().total_vertices);
+            for a in g.vertices() {
+                for b in g.vertices() {
+                    assert_eq!(back.test(a, b), oracle.test(a, b), "dist({a},{b})");
+                }
+            }
+            // Deterministic re-encode: loading and saving is the identity.
+            let mut w2 = nd_persist::Writer::new();
+            back.write_into(&mut w2);
+            assert_eq!(w2.into_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn binary_codec_rejects_corruption() {
+        let g = generators::grid(7, 7);
+        let oracle = DistOracle::build(&g, 2, &recursive_opts());
+        let mut w = nd_persist::Writer::new();
+        oracle.write_into(&mut w);
+        let bytes = w.into_bytes();
+        // Every truncation is a typed error, never a panic.
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(
+                DistOracle::read_from(&mut nd_persist::Reader::new(&bytes[..cut]), g.n()).is_err(),
+                "cut {cut}"
+            );
+        }
+        // A mismatched vertex count is rejected outright.
+        assert!(DistOracle::read_from(&mut nd_persist::Reader::new(&bytes), g.n() + 1).is_err());
+        // Hostile intact-looking bytes: either a typed error, or a decoded
+        // oracle whose queries are safe to run (possibly wrong, never a
+        // panic). Overwrite one byte at a stride across the payload.
+        for i in (0..bytes.len()).step_by(11) {
+            let mut c = bytes.clone();
+            c[i] = c[i].wrapping_add(1);
+            if let Ok(back) = DistOracle::read_from(&mut nd_persist::Reader::new(&c), g.n()) {
+                for a in (0..g.n() as Vertex).step_by(5) {
+                    for b in (0..g.n() as Vertex).step_by(5) {
+                        let _ = back.test(a, b);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,60 @@ impl NaiveEngine {
         let idx = self.solutions.partition_point(|s| s.as_slice() < from);
         self.solutions.get(idx).cloned()
     }
+
+    /// Append the engine's binary encoding to `w` (DESIGN.md §9): the
+    /// materialized solution set as flat arity-sized tuples. The arity
+    /// itself is not stored — the loader knows it from the query section.
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        if self.arity == 0 {
+            w.bool(!self.solutions.is_empty());
+            return;
+        }
+        w.seq_len(self.solutions.len());
+        for s in &self.solutions {
+            for &v in s {
+                w.u32(v);
+            }
+        }
+    }
+
+    /// Decode an engine with the given `arity` over an `n`-vertex graph
+    /// (both supplied by the caller from already-validated sections).
+    /// Re-validates the strict lexicographic order the binary searches of
+    /// [`Self::test`] / [`Self::next_solution`] rely on.
+    pub fn read_from(
+        r: &mut nd_persist::Reader<'_>,
+        arity: usize,
+        n: usize,
+    ) -> Result<NaiveEngine, nd_persist::PersistError> {
+        use nd_persist::malformed;
+        if arity == 0 {
+            let holds = r.bool("naive boolean solution")?;
+            return Ok(NaiveEngine {
+                arity,
+                solutions: if holds { vec![Vec::new()] } else { Vec::new() },
+            });
+        }
+        let count = r.seq_len(4 * arity, "naive solution count")?;
+        let mut solutions: Vec<Vec<Vertex>> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut tuple = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let v = r.u32("naive solution component")?;
+                if (v as usize) >= n {
+                    return Err(malformed("naive solution component out of range"));
+                }
+                tuple.push(v);
+            }
+            if solutions.last().is_some_and(|prev| prev >= &tuple) {
+                return Err(malformed(
+                    "naive solutions not in strict lexicographic order",
+                ));
+            }
+            solutions.push(tuple);
+        }
+        Ok(NaiveEngine { arity, solutions })
+    }
 }
 
 fn assign(asg: &mut Assignment, var: nd_logic::ast::VarId, val: Option<Vertex>) {
@@ -118,5 +172,48 @@ mod tests {
         assert_eq!(e.next_solution(&[0, 2]), Some(vec![0, 5]));
         assert_eq!(e.next_solution(&[5, 5]), None);
         assert_eq!(e.arity(), 2);
+    }
+
+    #[test]
+    fn binary_codec_roundtrip_and_rejection() {
+        let g = generators::cycle(6);
+        let q = parse_query("E(x,y)").unwrap();
+        let e = NaiveEngine::prepare(&g, &q);
+        let mut w = nd_persist::Writer::new();
+        e.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = nd_persist::Reader::new(&bytes);
+        let back = NaiveEngine::read_from(&mut r, 2, g.n()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.count(), e.count());
+        assert!(back.test(&[0, 1]));
+        assert_eq!(back.next_solution(&[0, 2]), Some(vec![0, 5]));
+        for cut in 0..bytes.len() {
+            assert!(
+                NaiveEngine::read_from(&mut nd_persist::Reader::new(&bytes[..cut]), 2, g.n())
+                    .is_err(),
+                "cut {cut}"
+            );
+        }
+        // Out-of-range components and unsorted tuples are rejected.
+        assert!(NaiveEngine::read_from(&mut nd_persist::Reader::new(&bytes), 2, 2).is_err());
+        let mut w = nd_persist::Writer::new();
+        w.seq_len(2);
+        for v in [0u32, 1, 0, 1] {
+            w.u32(v);
+        }
+        let dup = w.into_bytes();
+        assert!(NaiveEngine::read_from(&mut nd_persist::Reader::new(&dup), 2, 6).is_err());
+
+        // Boolean (arity-0) engines encode as a single flag.
+        let b = NaiveEngine {
+            arity: 0,
+            solutions: vec![Vec::new()],
+        };
+        let mut w = nd_persist::Writer::new();
+        b.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let back = NaiveEngine::read_from(&mut nd_persist::Reader::new(&bytes), 0, 6).unwrap();
+        assert!(back.test(&[]));
     }
 }

@@ -40,12 +40,15 @@ use crate::engine::naive::NaiveEngine;
 use crate::error::{InvalidInput, PrepareError, QueryError};
 use crate::skip::SkipPointers;
 use nd_cover::{Cover, KernelIndex};
-use nd_graph::budget::{Budget, BudgetExceeded, BudgetTracker, Phase};
+use nd_graph::budget::{Budget, BudgetExceeded, BudgetTracker, Phase, Resource};
 use nd_graph::par::try_parallel_map;
 use nd_graph::{ColoredGraph, Vertex};
 use nd_logic::ast::{ColorRef, Formula, Query};
 use nd_logic::eval::eval;
 use nd_logic::locality::evaluate_unary;
+use nd_persist::{
+    malformed, parse_container_frames, ContainerWriter, PersistError, Reader, SectionFrame, Writer,
+};
 use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -1094,6 +1097,512 @@ impl BranchEngine {
     }
 }
 
+// ---------------------------------------------------------------------
+// Persistence (DESIGN.md §9): crash-safe save/load of a prepared index.
+// ---------------------------------------------------------------------
+
+/// Section tags of the on-disk index container.
+const SEC_GRAPH: [u8; 4] = *b"GRPH";
+const SEC_QUERY: [u8; 4] = *b"QURY";
+const SEC_META: [u8; 4] = *b"META";
+const SEC_ENGINE: [u8; 4] = *b"ENGN";
+
+/// Recursion cap for the `BadDisjunct` chain of a stored reason.
+const MAX_REASON_DEPTH: u32 = 32;
+
+fn write_phase(w: &mut Writer, p: Phase) {
+    w.u8(match p {
+        Phase::SentenceCheck => 0,
+        Phase::UnaryEvaluation => 1,
+        Phase::DistOracle => 2,
+        Phase::CoverConstruction => 3,
+        Phase::KernelConstruction => 4,
+        Phase::SkipClosure => 5,
+        Phase::TrieBuild => 6,
+        Phase::NaiveMaterialize => 7,
+        Phase::Admission => 8,
+    });
+}
+
+fn read_phase(r: &mut Reader<'_>) -> Result<Phase, PersistError> {
+    Ok(match r.u8("budget phase")? {
+        0 => Phase::SentenceCheck,
+        1 => Phase::UnaryEvaluation,
+        2 => Phase::DistOracle,
+        3 => Phase::CoverConstruction,
+        4 => Phase::KernelConstruction,
+        5 => Phase::SkipClosure,
+        6 => Phase::TrieBuild,
+        7 => Phase::NaiveMaterialize,
+        8 => Phase::Admission,
+        _ => return Err(malformed("invalid budget phase")),
+    })
+}
+
+fn write_resource(w: &mut Writer, res: Resource) {
+    w.u8(match res {
+        Resource::WallClockMs => 0,
+        Resource::NodeExpansions => 1,
+        Resource::MemoryBytes => 2,
+    });
+}
+
+fn read_resource(r: &mut Reader<'_>) -> Result<Resource, PersistError> {
+    Ok(match r.u8("budget resource")? {
+        0 => Resource::WallClockMs,
+        1 => Resource::NodeExpansions,
+        2 => Resource::MemoryBytes,
+        _ => return Err(malformed("invalid budget resource")),
+    })
+}
+
+fn write_unsupported(w: &mut Writer, u: &UnsupportedReason) {
+    match u {
+        UnsupportedReason::WideConjunct(s) => {
+            w.u8(0);
+            w.str(s);
+        }
+        UnsupportedReason::ComplexBinary(s) => {
+            w.u8(1);
+            w.str(s);
+        }
+        UnsupportedReason::BadDisjunct(inner) => {
+            w.u8(2);
+            write_unsupported(w, inner);
+        }
+        UnsupportedReason::RelationalAtom(s) => {
+            w.u8(3);
+            w.str(s);
+        }
+    }
+}
+
+fn read_unsupported(r: &mut Reader<'_>, depth: u32) -> Result<UnsupportedReason, PersistError> {
+    if depth > MAX_REASON_DEPTH {
+        return Err(malformed("unsupported-reason nesting too deep"));
+    }
+    Ok(match r.u8("unsupported-reason tag")? {
+        0 => UnsupportedReason::WideConjunct(r.str("wide-conjunct detail")?),
+        1 => UnsupportedReason::ComplexBinary(r.str("complex-binary detail")?),
+        2 => UnsupportedReason::BadDisjunct(Box::new(read_unsupported(r, depth + 1)?)),
+        3 => UnsupportedReason::RelationalAtom(r.str("relational-atom detail")?),
+        _ => return Err(malformed("invalid unsupported-reason tag")),
+    })
+}
+
+fn write_degradation_opt(w: &mut Writer, reason: &Option<DegradationReason>) {
+    match reason {
+        None => w.u8(0),
+        Some(DegradationReason::UnsupportedFragment(u)) => {
+            w.u8(1);
+            write_unsupported(w, u);
+        }
+        Some(DegradationReason::BudgetExceeded(b)) => {
+            w.u8(2);
+            write_phase(w, b.phase);
+            write_resource(w, b.resource);
+            w.u64(b.spent);
+            w.u64(b.cap);
+        }
+    }
+}
+
+fn read_degradation_opt(r: &mut Reader<'_>) -> Result<Option<DegradationReason>, PersistError> {
+    Ok(match r.u8("degradation-reason tag")? {
+        0 => None,
+        1 => Some(DegradationReason::UnsupportedFragment(read_unsupported(
+            r, 0,
+        )?)),
+        2 => Some(DegradationReason::BudgetExceeded(BudgetExceeded {
+            phase: read_phase(r)?,
+            resource: read_resource(r)?,
+            spent: r.u64("budget spent")?,
+            cap: r.u64("budget cap")?,
+        })),
+        _ => return Err(malformed("invalid degradation-reason tag")),
+    })
+}
+
+impl BranchEngine {
+    /// Append the branch's binary encoding to `w`. Oracles are written in
+    /// increasing radius order and the skip tables sort their entries, so
+    /// the encoding is a pure function of the index value (load → save is
+    /// bit-identical).
+    fn write_into(&self, w: &mut Writer) {
+        w.bool(self.active);
+        let mut radii: Vec<u32> = self.oracles.keys().copied().collect();
+        radii.sort_unstable();
+        w.seq_len(radii.len());
+        for d in radii {
+            w.u32(d);
+            self.oracles[&d].write_into(w);
+        }
+        match &self.cover {
+            None => w.u8(0),
+            Some(c) => {
+                w.u8(1);
+                c.write_into(w);
+            }
+        }
+        match &self.kernels {
+            None => w.u8(0),
+            Some(k) => {
+                w.u8(1);
+                k.write_into(w);
+            }
+        }
+        for list in &self.unary_lists {
+            w.u32_slice(list);
+        }
+        for sp in &self.skips {
+            match sp {
+                None => w.u8(0),
+                Some(sp) => {
+                    w.u8(1);
+                    sp.write_into(w);
+                }
+            }
+        }
+        w.bool(self.extend_check);
+        w.u64(self.timings.cover_ms);
+        w.u64(self.timings.kernel_ms);
+        w.u64(self.timings.store_ms);
+        w.u64(self.timings.skip_ms);
+    }
+
+    /// Decode one branch against its recompiled fragment `fq`. Re-checks
+    /// every invariant the answering hot path dereferences without a
+    /// guard — a hostile payload behind intact CRCs must surface as a
+    /// typed error here, never as a panic inside `next_value`.
+    fn read_from(
+        r: &mut Reader<'_>,
+        g: &ColoredGraph,
+        fq: FragmentQuery,
+    ) -> Result<BranchEngine, PersistError> {
+        let n = g.n();
+        let active = r.bool("branch active flag")?;
+        let num_oracles = r.seq_len(5, "branch oracle count")?;
+        let mut oracles = HashMap::new();
+        let mut prev: Option<u32> = None;
+        for _ in 0..num_oracles {
+            let d = r.u32("oracle radius key")?;
+            if prev.is_some_and(|p| p >= d) {
+                return Err(malformed("oracle radii not strictly increasing"));
+            }
+            prev = Some(d);
+            let oracle = DistOracle::read_from(r, n)?;
+            if oracle.radius() != d {
+                return Err(malformed("oracle radius does not match its key"));
+            }
+            oracles.insert(d, oracle);
+        }
+        let cover = match r.u8("cover presence tag")? {
+            0 => None,
+            1 => {
+                let c = Cover::read_from(r)?;
+                if c.n() != n {
+                    return Err(malformed("cover vertex count does not match graph"));
+                }
+                Some(c)
+            }
+            _ => return Err(malformed("invalid cover presence tag")),
+        };
+        let kernels = match r.u8("kernel presence tag")? {
+            0 => None,
+            1 => {
+                let Some(c) = &cover else {
+                    return Err(malformed("kernels present without a cover"));
+                };
+                let k = KernelIndex::read_from(r, n)?;
+                if k.num_bags() != c.num_bags() {
+                    return Err(malformed("kernel count does not match cover bags"));
+                }
+                Some(k)
+            }
+            _ => return Err(malformed("invalid kernel presence tag")),
+        };
+        let mut unary_lists = Vec::with_capacity(fq.k);
+        let mut unary_bits = Vec::with_capacity(fq.k);
+        for _ in 0..fq.k {
+            let list = r.u32_slice_sorted(n as u32, "unary list")?;
+            let mut bits = vec![false; n];
+            for &v in &list {
+                bits[v as usize] = true;
+            }
+            unary_lists.push(list);
+            unary_bits.push(bits);
+        }
+        let mut skips = Vec::with_capacity(fq.k);
+        for _ in 0..fq.k {
+            skips.push(match r.u8("skip presence tag")? {
+                0 => None,
+                1 => Some(SkipPointers::read_from(r, n)?),
+                _ => return Err(malformed("invalid skip presence tag")),
+            });
+        }
+        let extend_check = r.bool("extendability flag")?;
+        let timings = PhaseTimings {
+            cover_ms: r.u64("branch cover_ms")?,
+            kernel_ms: r.u64("branch kernel_ms")?,
+            store_ms: r.u64("branch store_ms")?,
+            skip_ms: r.u64("branch skip_ms")?,
+        };
+        if active {
+            for c in &fq.binary {
+                if let BinKind::Le(d) | BinKind::Gt(d) = c.kind {
+                    if !oracles.contains_key(&d) {
+                        return Err(malformed("missing distance oracle for constraint radius"));
+                    }
+                }
+            }
+            let needs_cover = fq
+                .binary
+                .iter()
+                .any(|c| matches!(c.kind, BinKind::Le(_) | BinKind::Gt(_)));
+            if needs_cover && cover.is_none() {
+                return Err(malformed("missing cover for distance constraints"));
+            }
+            if fq.binary.iter().any(|c| c.kind.excluding()) && kernels.is_none() {
+                return Err(malformed("missing kernels for far constraints"));
+            }
+            for (j, sp) in skips.iter().enumerate() {
+                if fq.constraints_on(j).any(|c| c.kind.excluding()) && sp.is_none() {
+                    return Err(malformed("missing skip pointers for a far position"));
+                }
+            }
+        }
+        Ok(BranchEngine {
+            fq,
+            active,
+            oracles,
+            cover,
+            kernels,
+            unary_lists,
+            unary_bits,
+            skips,
+            extend_check,
+            timings,
+        })
+    }
+}
+
+/// A deserialized index: the prepared query re-attached to the query AST
+/// and source text it was saved with. The serving layer needs all three —
+/// the engine to answer, the AST for arity/metadata, and the source text
+/// for display and for a cold re-prepare fallback.
+pub struct LoadedIndex {
+    pub prepared: SharedPreparedQuery,
+    pub query: Query,
+    pub query_src: String,
+}
+
+impl<G: Borrow<ColoredGraph>> PreparedQuery<G> {
+    /// Serialize the index (graph + engine + provenance metadata) into the
+    /// versioned, checksummed container of DESIGN.md §9. `query` must be
+    /// the query this index was prepared for — its compiled branch
+    /// structure is cross-checked against the engine before any byte is
+    /// written.
+    pub fn save_index_bytes(
+        &self,
+        query: &Query,
+        query_src: &str,
+    ) -> Result<Vec<u8>, PersistError> {
+        let g = self.g.borrow();
+        if query.arity() != self.arity {
+            return Err(malformed("query arity does not match the prepared index"));
+        }
+        if let EngineImpl::Indexed(bs) = &self.engine {
+            match compile(query) {
+                Ok(branches) if branches.len() == bs.len() => {}
+                _ => return Err(malformed("query does not compile to the prepared branches")),
+            }
+        }
+        let mut cw = ContainerWriter::new();
+
+        let mut w = Writer::new();
+        g.write_into(&mut w);
+        cw.section(SEC_GRAPH, w.into_bytes());
+
+        let mut w = Writer::new();
+        nd_logic::codec::write_query(query, &mut w);
+        w.str(query_src);
+        cw.section(SEC_QUERY, w.into_bytes());
+
+        let mut w = Writer::new();
+        w.u64(self.arity as u64);
+        w.u8(match self.rung {
+            DegradationRung::Indexed => 0,
+            DegradationRung::CoarsenedEpsilon => 1,
+            DegradationRung::NaiveFallback => 2,
+        });
+        write_degradation_opt(&mut w, &self.degradation_reason);
+        w.u64(self.budget_nodes_spent);
+        w.u64(self.budget_ms_spent);
+        w.u64(self.threads_used as u64);
+        cw.section(SEC_META, w.into_bytes());
+
+        let mut w = Writer::new();
+        match &self.engine {
+            EngineImpl::Indexed(bs) => {
+                w.u8(0);
+                w.seq_len(bs.len());
+                for b in bs {
+                    b.write_into(&mut w);
+                }
+            }
+            EngineImpl::Naive(nv) => {
+                w.u8(1);
+                nv.write_into(&mut w);
+            }
+        }
+        cw.section(SEC_ENGINE, w.into_bytes());
+
+        Ok(cw.finish())
+    }
+
+    /// [`PreparedQuery::save_index_bytes`] plus the crash-safe file
+    /// protocol: temp file, fsync, atomic rename.
+    pub fn save_index(
+        &self,
+        query: &Query,
+        query_src: &str,
+        path: &std::path::Path,
+    ) -> Result<(), PersistError> {
+        let bytes = self.save_index_bytes(query, query_src)?;
+        nd_persist::write_file_atomic(path, &bytes)
+    }
+}
+
+impl SharedPreparedQuery {
+    /// Decode an index container. Every section is CRC-checked by the
+    /// container layer; every structural invariant of the engine is then
+    /// re-validated, so any corruption — truncation, bit flips, or a
+    /// forged payload behind valid CRCs — yields a typed error, never a
+    /// panic or an engine that panics later.
+    pub fn load_index_bytes(bytes: &[u8]) -> Result<LoadedIndex, PersistError> {
+        let frames = parse_container_frames(bytes)?;
+        let frame = |tag: [u8; 4]| -> Result<SectionFrame<'_>, PersistError> {
+            frames
+                .iter()
+                .find(|f| f.tag == tag)
+                .copied()
+                .ok_or_else(|| {
+                    malformed(format!("missing section {}", String::from_utf8_lossy(&tag)))
+                })
+        };
+        let engine_frame = frame(SEC_ENGINE)?;
+        std::thread::scope(|s| {
+            // The engine section is the overwhelming bulk of a large
+            // index; its CRC pass runs concurrently with decoding. That
+            // is sound because every decoder is bounds-checked and
+            // typed-error-safe on arbitrary bytes (the chaos suite's
+            // invariant) — but nothing decoded may be returned before
+            // `verify` has passed, so the checksum result is checked
+            // below before the engine value escapes.
+            let engine_crc = s.spawn(move || engine_frame.verify());
+            let result = Self::load_index_sections(&frame, engine_frame);
+            match engine_crc.join() {
+                Ok(Ok(())) => result,
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(malformed("engine checksum verification panicked")),
+            }
+        })
+    }
+
+    fn load_index_sections<'a>(
+        frame: &dyn Fn([u8; 4]) -> Result<SectionFrame<'a>, PersistError>,
+        engine_frame: SectionFrame<'a>,
+    ) -> Result<LoadedIndex, PersistError> {
+        let f = frame(SEC_GRAPH)?;
+        f.verify()?;
+        let mut r = Reader::new(f.payload);
+        let g = ColoredGraph::read_from(&mut r)?;
+        r.finish()?;
+
+        let f = frame(SEC_QUERY)?;
+        f.verify()?;
+        let mut r = Reader::new(f.payload);
+        let query = nd_logic::codec::read_query(&mut r)?;
+        let query_src = r.str("query source text")?;
+        r.finish()?;
+
+        let f = frame(SEC_META)?;
+        f.verify()?;
+        let mut r = Reader::new(f.payload);
+        let arity = r.u64("index arity")? as usize;
+        if arity != query.arity() {
+            return Err(malformed("stored arity does not match the query"));
+        }
+        let rung = match r.u8("degradation rung")? {
+            0 => DegradationRung::Indexed,
+            1 => DegradationRung::CoarsenedEpsilon,
+            2 => DegradationRung::NaiveFallback,
+            _ => return Err(malformed("invalid degradation rung")),
+        };
+        let degradation_reason = read_degradation_opt(&mut r)?;
+        let budget_nodes_spent = r.u64("budget nodes spent")?;
+        let budget_ms_spent = r.u64("budget ms spent")?;
+        let threads_used = r.u64("threads used")? as usize;
+        r.finish()?;
+
+        let mut r = Reader::new(engine_frame.payload);
+        let engine = match r.u8("engine tag")? {
+            0 => {
+                if rung == DegradationRung::NaiveFallback {
+                    return Err(malformed("naive rung with an indexed engine"));
+                }
+                let branches = compile(&query)
+                    .map_err(|_| malformed("stored query does not compile to branches"))?;
+                let count = r.seq_len(16, "branch count")?;
+                if count != branches.len() {
+                    return Err(malformed("stored branch count does not match the query"));
+                }
+                let mut bs = Vec::with_capacity(count);
+                for fq in branches {
+                    bs.push(BranchEngine::read_from(&mut r, &g, fq)?);
+                }
+                EngineImpl::Indexed(bs)
+            }
+            1 => {
+                if rung != DegradationRung::NaiveFallback {
+                    return Err(malformed("naive engine without the naive rung"));
+                }
+                EngineImpl::Naive(NaiveEngine::read_from(&mut r, arity, g.n())?)
+            }
+            _ => return Err(malformed("invalid engine tag")),
+        };
+        r.finish()?;
+
+        Ok(LoadedIndex {
+            prepared: PreparedQuery {
+                g: Arc::new(g),
+                arity,
+                engine,
+                rung,
+                degradation_reason,
+                budget_nodes_spent,
+                budget_ms_spent,
+                threads_used,
+            },
+            query,
+            query_src,
+        })
+    }
+
+    /// Load an index file written by [`PreparedQuery::save_index`].
+    pub fn load_index(path: &std::path::Path) -> Result<LoadedIndex, PersistError> {
+        let bytes = nd_persist::read_file(path)?;
+        Self::load_index_bytes(&bytes)
+    }
+
+    /// The shared graph handle, for runtimes that prepare further queries
+    /// over the same graph (e.g. a serving session seeded from a loaded
+    /// index).
+    pub fn graph_shared(&self) -> Arc<ColoredGraph> {
+        Arc::clone(&self.g)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1324,6 +1833,121 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Tentpole roundtrip: save → load reproduces bit-identical probe
+    /// behavior (enumeration, membership tests, successor probes) and a
+    /// bit-identical re-save, across the indexed engine (all fragment
+    /// query shapes), the naive fallback, and Boolean queries.
+    #[test]
+    fn index_save_load_roundtrip() {
+        let g = colored(generators::grid(4, 4), 7);
+        let extra = [
+            // Naive fallback (outside the fragment).
+            "exists u. (E(x,u) && E(u,y)) && x != y",
+            // Boolean.
+            "exists x. Blue(x)",
+        ];
+        for src in QUERIES.iter().chain(extra.iter()) {
+            let q = parse_query(src).unwrap();
+            let pq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+            let bytes = pq.save_index_bytes(&q, src).unwrap();
+            let loaded = SharedPreparedQuery::load_index_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("load failed for {src}: {e}"));
+            assert_eq!(loaded.query_src, *src);
+            assert_eq!(loaded.query, q);
+            assert_eq!(loaded.prepared.stats(), pq.stats(), "{src}");
+
+            let want: Vec<_> = pq.enumerate().collect();
+            let got: Vec<_> = loaded.prepared.enumerate().collect();
+            assert_eq!(got, want, "enumeration diverged after load for {src}");
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..25 {
+                let probe: Vec<Vertex> = (0..q.arity())
+                    .map(|_| rng.random_range(0..g.n() as Vertex))
+                    .collect();
+                assert_eq!(pq.test(&probe), loaded.prepared.test(&probe), "{src}");
+                assert_eq!(
+                    pq.next_solution(&probe),
+                    loaded.prepared.next_solution(&probe),
+                    "{src}"
+                );
+            }
+
+            let again = loaded
+                .prepared
+                .save_index_bytes(&loaded.query, &loaded.query_src)
+                .unwrap();
+            assert_eq!(again, bytes, "re-save not bit-identical for {src}");
+        }
+    }
+
+    /// Chaos: every truncation point, every single-bit flip, and a stale
+    /// format version must produce a typed error — never a panic, and
+    /// never a silently-accepted corrupt index.
+    #[test]
+    fn index_load_rejects_corruption() {
+        let g = colored(generators::grid(4, 4), 3);
+        let src = "dist(x,y) > 2 && Blue(y)";
+        let q = parse_query(src).unwrap();
+        let pq = PreparedQuery::prepare(&g, &q, &small_opts()).unwrap();
+        let bytes = pq.save_index_bytes(&q, src).unwrap();
+
+        for cut in 0..bytes.len() {
+            assert!(
+                SharedPreparedQuery::load_index_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut c = bytes.clone();
+            c[i] ^= 0x40;
+            assert!(
+                SharedPreparedQuery::load_index_bytes(&c).is_err(),
+                "bit flip at {i} accepted"
+            );
+        }
+        let mut stale = bytes.clone();
+        stale[8] = stale[8].wrapping_add(1); // format version u32 at offset 8
+        assert!(matches!(
+            SharedPreparedQuery::load_index_bytes(&stale),
+            Err(PersistError::UnsupportedVersion { .. })
+        ));
+
+        // Mismatched save inputs are rejected before writing.
+        let other = parse_query("Blue(x)").unwrap();
+        assert!(pq.save_index_bytes(&other, "Blue(x)").is_err());
+    }
+
+    #[test]
+    fn degradation_reason_codec_roundtrip() {
+        let reasons = [
+            None,
+            Some(DegradationReason::UnsupportedFragment(
+                UnsupportedReason::BadDisjunct(Box::new(UnsupportedReason::WideConjunct(
+                    "three-variable component".into(),
+                ))),
+            )),
+            Some(DegradationReason::UnsupportedFragment(
+                UnsupportedReason::RelationalAtom("R".into()),
+            )),
+            Some(DegradationReason::BudgetExceeded(BudgetExceeded {
+                phase: Phase::CoverConstruction,
+                resource: Resource::NodeExpansions,
+                spent: 7,
+                cap: 3,
+            })),
+        ];
+        for reason in &reasons {
+            let mut w = Writer::new();
+            write_degradation_opt(&mut w, reason);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(&read_degradation_opt(&mut r).unwrap(), reason);
+            r.finish().unwrap();
+        }
+        assert!(read_degradation_opt(&mut Reader::new(&[9])).is_err());
+        assert!(read_degradation_opt(&mut Reader::new(&[2, 200])).is_err());
     }
 
     #[test]

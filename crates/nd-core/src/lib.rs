@@ -44,8 +44,8 @@ pub use dist::DistOracle;
 pub use dynamic::{DynamicFarIndex, DynamicFarQuery};
 pub use engine::fragment::{BinKind, FragmentQuery, UnsupportedReason};
 pub use engine::prepared::{
-    DegradationReason, DegradationRung, EngineKind, Enumerate, PrepareOpts, PrepareStats,
-    PreparedQuery, SharedPreparedQuery,
+    DegradationReason, DegradationRung, EngineKind, Enumerate, LoadedIndex, PrepareOpts,
+    PrepareStats, PreparedQuery, SharedPreparedQuery,
 };
 pub use error::{InvalidInput, NdError, PrepareError, QueryError};
 pub use nd_graph::budget::{Budget, BudgetExceeded, BudgetTracker, Phase, Resource};

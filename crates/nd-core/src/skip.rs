@@ -256,12 +256,11 @@ impl SkipPointers {
         }
         match self.table.get(&(c, encode_set(&s_prime))) {
             Some(v) => *v,
-            // Only possible when the table was truncated at the size cap:
-            // fall back to a correct linear scan of L.
-            None => {
-                debug_assert!(self.truncated, "untruncated table missed an SC entry");
-                self.scan_fallback(kernels, c, s)
-            }
+            // The table was truncated at the size cap — or decoded from a
+            // file whose closure is incomplete (hostile bytes pass the CRC
+            // only on purpose-built inputs, but they must not panic): fall
+            // back to a correct linear scan of L.
+            None => self.scan_fallback(kernels, c, s),
         }
     }
 
@@ -294,6 +293,100 @@ impl SkipPointers {
     /// Memory guard used by stats: n of the underlying graph.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Append the structure's binary encoding to `w` (DESIGN.md §9).
+    ///
+    /// The tabulated `SC(b)` closure — the expensive part — is serialized
+    /// as sorted `(vertex, bag-set, skip)` triples (sorted so the encoding
+    /// is deterministic despite the hash map); the cheap `in_list` /
+    /// `next_in_list` arrays are rebuilt on load in `O(n)`.
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        w.u32(self.k as u32);
+        w.u32_slice(&self.list);
+        w.bool(self.truncated);
+        let mut entries: Vec<(Vertex, BagSet, Option<Vertex>)> = self
+            .table
+            .iter()
+            .map(|(&(v, s), &val)| (v, s, val))
+            .collect();
+        entries.sort_unstable();
+        w.seq_len(entries.len());
+        for (v, set, val) in entries {
+            w.u32(v);
+            w.u128(set);
+            match val {
+                None => w.u8(0),
+                Some(x) => {
+                    w.u8(1);
+                    w.u32(x);
+                }
+            }
+        }
+    }
+
+    /// Decode the structure for an `n`-vertex graph (`n` supplied by the
+    /// caller from the already-validated graph, so a corrupt count cannot
+    /// drive the rebuild allocations). Table values are range-checked —
+    /// the answering phase feeds them straight into per-position bitsets.
+    pub fn read_from(
+        r: &mut nd_persist::Reader<'_>,
+        n: usize,
+    ) -> Result<SkipPointers, nd_persist::PersistError> {
+        use nd_persist::malformed;
+        let k = r.u32("skip arity")? as usize;
+        if !(1..=MAX_SET).contains(&k) {
+            return Err(malformed("skip arity outside 1..=4"));
+        }
+        let list = r.u32_slice_sorted(n as u32, "skip list")?;
+        let truncated = r.bool("skip truncated flag")?;
+        let count = r.seq_len(21, "skip table")?;
+        let mut table = HashMap::with_capacity(count);
+        let mut prev: Option<(Vertex, BagSet)> = None;
+        for _ in 0..count {
+            let v = r.u32("skip table vertex")?;
+            if (v as usize) >= n {
+                return Err(malformed("skip table vertex out of range"));
+            }
+            let set = r.u128("skip table bag set")?;
+            if prev.is_some_and(|p| p >= (v, set)) {
+                return Err(malformed("skip table keys not strictly sorted"));
+            }
+            prev = Some((v, set));
+            let val = match r.u8("skip table value tag")? {
+                0 => None,
+                1 => {
+                    let x = r.u32("skip table value")?;
+                    if (x as usize) >= n {
+                        return Err(malformed("skip table value out of range"));
+                    }
+                    Some(x)
+                }
+                other => return Err(malformed(format!("unknown skip value tag {other}"))),
+            };
+            table.insert((v, set), val);
+        }
+        let mut in_list = vec![false; n];
+        for &v in &list {
+            in_list[v as usize] = true;
+        }
+        let mut next_in_list: Vec<Option<Vertex>> = vec![None; n];
+        let mut next = None;
+        for v in (0..n).rev() {
+            next_in_list[v] = next;
+            if in_list[v] {
+                next = Some(v as Vertex);
+            }
+        }
+        Ok(SkipPointers {
+            k,
+            n,
+            list,
+            in_list,
+            next_in_list,
+            table,
+            truncated,
+        })
     }
 }
 
@@ -418,6 +511,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn binary_codec_roundtrip_answers_identically() {
+        let g = generators::grid(9, 9);
+        let list: Vec<Vertex> = (0..g.n() as Vertex).filter(|v| v % 4 != 2).collect();
+        let (kernels, sp) = setup(&g, 2, list, 2);
+        let mut w = nd_persist::Writer::new();
+        sp.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = nd_persist::Reader::new(&bytes);
+        let back = SkipPointers::read_from(&mut r, g.n()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.table_len(), sp.table_len());
+        assert_eq!(back.truncated(), sp.truncated());
+        let mut rng = StdRng::seed_from_u64(5);
+        for bags in random_bagsets(&kernels, g.n(), 2, &mut rng) {
+            for probe in 0..g.n() as Vertex {
+                assert_eq!(
+                    back.skip(&kernels, probe, &bags),
+                    sp.skip(&kernels, probe, &bags)
+                );
+            }
+        }
+        // Deterministic re-encode despite the hash-map table.
+        let mut w2 = nd_persist::Writer::new();
+        back.write_into(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn binary_codec_rejects_corruption() {
+        let g = generators::path(40);
+        let list: Vec<Vertex> = (0..40).collect();
+        let (_, sp) = setup(&g, 2, list, 2);
+        let mut w = nd_persist::Writer::new();
+        sp.write_into(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                SkipPointers::read_from(&mut nd_persist::Reader::new(&bytes[..cut]), g.n())
+                    .is_err(),
+                "cut {cut}"
+            );
+        }
+        // Out-of-range table vertices / values are rejected (they would
+        // otherwise index per-position bitsets out of bounds downstream).
+        assert!(SkipPointers::read_from(&mut nd_persist::Reader::new(&bytes), 3).is_err());
     }
 
     #[test]

@@ -181,6 +181,57 @@ impl KernelIndex {
         })
     }
 
+    /// Append the index's binary encoding to `w` (DESIGN.md §9). Only the
+    /// per-bag kernels are stored; the inverted index is rebuilt on load.
+    /// The vertex count is *not* stored — the loader supplies it from the
+    /// graph, which prevents a corrupted count from driving a huge
+    /// allocation.
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        w.u32(self.p);
+        w.seq_len(self.kernels.len());
+        for k in &self.kernels {
+            w.u32_slice(k);
+        }
+    }
+
+    /// Decode an index over a graph with `n` vertices, re-validating
+    /// sortedness and vertex ranges.
+    pub fn read_from(
+        r: &mut nd_persist::Reader<'_>,
+        n: usize,
+    ) -> Result<KernelIndex, nd_persist::PersistError> {
+        use nd_persist::malformed;
+        let p = r.u32("kernel radius")?;
+        let num_bags = r.seq_len(8, "kernel bag count")?;
+        let mut kernels = Vec::with_capacity(num_bags);
+        for _ in 0..num_bags {
+            let k = r.u32_slice("kernel members")?;
+            if k.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed("kernel members are not sorted"));
+            }
+            if k.iter().any(|&v| (v as usize) >= n) {
+                return Err(malformed("kernel member out of range"));
+            }
+            kernels.push(k);
+        }
+        let mut kernel_bags_of: Vec<Vec<BagId>> = vec![Vec::new(); n];
+        for (id, k) in kernels.iter().enumerate() {
+            for &v in k {
+                kernel_bags_of[v as usize].push(id as BagId);
+            }
+        }
+        Ok(KernelIndex {
+            p,
+            kernels,
+            kernel_bags_of,
+        })
+    }
+
+    /// Number of bags the index holds kernels for.
+    pub fn num_bags(&self) -> usize {
+        self.kernels.len()
+    }
+
     /// Sorted kernel of a bag.
     pub fn kernel(&self, id: BagId) -> &[Vertex] {
         &self.kernels[id as usize]
@@ -308,6 +359,30 @@ mod tests {
                 kernel_of_bag_with(&g, verts, 2, &mut scratch),
                 kernel_of_bag(&g, verts, 2),
                 "bag {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_rebuilds_the_inverted_index() {
+        let g = generators::grid(8, 8);
+        let cover = Cover::build(&g, 2, 0.5);
+        let ki = KernelIndex::build(&g, &cover, 2);
+        let mut w = nd_persist::Writer::new();
+        ki.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = nd_persist::Reader::new(&bytes);
+        let back = KernelIndex::read_from(&mut r, g.n()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.p, ki.p);
+        assert_eq!(back.kernels, ki.kernels);
+        assert_eq!(back.kernel_bags_of, ki.kernel_bags_of);
+        // Out-of-range member against a smaller declared n fails typed.
+        assert!(KernelIndex::read_from(&mut nd_persist::Reader::new(&bytes), 1).is_err());
+        for cut in 0..bytes.len() {
+            assert!(
+                KernelIndex::read_from(&mut nd_persist::Reader::new(&bytes[..cut]), g.n()).is_err(),
+                "cut {cut}"
             );
         }
     }

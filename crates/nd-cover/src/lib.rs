@@ -168,6 +168,11 @@ impl Cover {
         self.timings
     }
 
+    /// Number of vertices of the covered graph.
+    pub fn n(&self) -> usize {
+        self.assignment.len()
+    }
+
     /// Number of bags.
     pub fn num_bags(&self) -> usize {
         self.bags.len()
@@ -225,6 +230,82 @@ impl Cover {
     /// `Σ_X |X|` — the quantity bounded by `n^{1+ε}` in the paper (Eq. 1).
     pub fn total_bag_size(&self) -> usize {
         self.bags.iter().map(|b| b.verts.len()).sum()
+    }
+
+    /// Append the cover's binary encoding to `w` (DESIGN.md §9).
+    ///
+    /// The Storing-Theorem membership trie — the expensive part of a
+    /// cover build (`store_ms` dominates on dense families) — is
+    /// serialized verbatim; the cheap inverted indexes (`bags_of`,
+    /// `assigned_members`) are rebuilt on load in `O(Σ_X |X| + n)`.
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        w.u32(self.r);
+        w.seq_len(self.assignment.len());
+        for &id in &self.assignment {
+            w.u32(id);
+        }
+        w.seq_len(self.bags.len());
+        for bag in &self.bags {
+            w.u32(bag.center);
+            w.u32_slice(&bag.verts);
+        }
+        self.membership.write_into(w);
+    }
+
+    /// Decode a cover, re-validating the invariants the accessors index
+    /// by (assignment targets exist, bag members in range and sorted).
+    pub fn read_from(r: &mut nd_persist::Reader<'_>) -> Result<Cover, nd_persist::PersistError> {
+        use nd_persist::malformed;
+        let radius = r.u32("cover radius")?;
+        let n = r.seq_len(4, "cover assignment")?;
+        let mut assignment = Vec::with_capacity(n);
+        for _ in 0..n {
+            assignment.push(r.u32("cover assignment entry")?);
+        }
+        let num_bags = r.seq_len(4, "cover bag count")?;
+        let mut bags = Vec::with_capacity(num_bags);
+        for _ in 0..num_bags {
+            let center = r.u32("bag center")?;
+            let verts = r.u32_slice_sorted(n as u32, "bag members")?;
+            if (center as usize) >= n {
+                return Err(malformed("bag center out of range"));
+            }
+            bags.push(Bag { center, verts });
+        }
+        if n > 0 && num_bags == 0 {
+            return Err(malformed("cover of a non-empty graph has no bags"));
+        }
+        if assignment.iter().any(|&id| (id as usize) >= num_bags) {
+            return Err(malformed("cover assignment targets a missing bag"));
+        }
+        let membership = KeySet::read_from(r)?;
+        // successor_in_bag packs (bag, vertex) pairs through these params;
+        // a mismatched shape would trip the packer's arity contract.
+        if membership.params().k != 2 {
+            return Err(malformed("cover membership store must be binary"));
+        }
+        if membership.params().n < n.max(num_bags).max(1) as u64 {
+            return Err(malformed("cover membership key range too small"));
+        }
+        let mut bags_of: Vec<Vec<BagId>> = vec![Vec::new(); n];
+        for (id, bag) in bags.iter().enumerate() {
+            for &v in &bag.verts {
+                bags_of[v as usize].push(id as BagId);
+            }
+        }
+        let mut assigned_members: Vec<Vec<Vertex>> = vec![Vec::new(); bags.len()];
+        for (v, &id) in assignment.iter().enumerate() {
+            assigned_members[id as usize].push(v as Vertex);
+        }
+        Ok(Cover {
+            r: radius,
+            bags,
+            assignment,
+            bags_of,
+            assigned_members,
+            membership,
+            timings: CoverTimings::default(),
+        })
     }
 
     /// Verify the `(r, 2r)`-cover conditions exhaustively (test helper).
@@ -327,5 +408,63 @@ mod tests {
         let cover = Cover::build(&g, 2, 0.5);
         assert_eq!(cover.num_bags(), 0);
         assert_eq!(cover.degree(), 0);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_every_query_surface() {
+        for (g, r) in [
+            (generators::grid(8, 8), 2u32),
+            (generators::path(30), 3),
+            (generators::path(0), 1),
+        ] {
+            let cover = Cover::build(&g, r, 0.5);
+            let mut w = nd_persist::Writer::new();
+            cover.write_into(&mut w);
+            let bytes = w.into_bytes();
+            let mut rd = nd_persist::Reader::new(&bytes);
+            let back = Cover::read_from(&mut rd).unwrap();
+            rd.finish().unwrap();
+            assert_eq!(back.r, cover.r);
+            assert_eq!(back.num_bags(), cover.num_bags());
+            for v in g.vertices() {
+                assert_eq!(back.bag_of(v), cover.bag_of(v));
+                assert_eq!(back.bags_containing(v), cover.bags_containing(v));
+            }
+            for id in 0..cover.num_bags() as BagId {
+                assert_eq!(back.bag(id).verts, cover.bag(id).verts);
+                assert_eq!(back.assigned_members(id), cover.assigned_members(id));
+                for v in 0..g.n() as Vertex {
+                    assert_eq!(back.contains(id, v), cover.contains(id, v));
+                    assert_eq!(back.successor_in_bag(id, v), cover.successor_in_bag(id, v));
+                }
+            }
+            if g.n() > 0 {
+                back.validate(&g);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_missing_bag_targets() {
+        let g = generators::path(10);
+        let cover = Cover::build(&g, 2, 0.5);
+        let mut w = nd_persist::Writer::new();
+        cover.write_into(&mut w);
+        let bytes = w.into_bytes();
+        // Point assignment entry 0 at a bag far beyond the count: offset 4
+        // (radius) + 8 (len prefix) is the first assignment word.
+        let mut c = bytes.clone();
+        c[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Cover::read_from(&mut nd_persist::Reader::new(&c)),
+            Err(nd_persist::PersistError::Malformed { .. })
+        ));
+        // Truncations are typed, never panics.
+        for cut in 0..bytes.len() {
+            assert!(
+                Cover::read_from(&mut nd_persist::Reader::new(&bytes[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 }

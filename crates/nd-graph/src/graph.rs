@@ -190,6 +190,109 @@ const _: () = {
     assert_send_sync::<ColoredGraph>();
 };
 
+// ---------------------------------------------------------------------
+// Binary persistence (DESIGN.md §9). Lives here because the CSR fields
+// are crate-private; every accessor above assumes the construction
+// invariants, so the decoder re-validates all of them before handing the
+// graph out — a hostile byte stream can yield a typed error, never a
+// graph that panics later.
+// ---------------------------------------------------------------------
+
+impl ColoredGraph {
+    /// Append the graph's binary encoding (CSR arrays + color lists) to
+    /// `w`.
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        w.u32_slice(&self.offsets);
+        w.u32_slice(&self.adjacency);
+        w.seq_len(self.color_members.len());
+        for (members, name) in self.color_members.iter().zip(&self.color_names) {
+            w.u32_slice(members);
+            match name {
+                Some(s) => {
+                    w.bool(true);
+                    w.str(s);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Decode a graph, re-validating every structural invariant the rest
+    /// of the crate relies on (monotone offsets, sorted/deduplicated and
+    /// symmetric adjacency without self-loops, sorted in-range color
+    /// lists).
+    pub fn read_from(
+        r: &mut nd_persist::Reader<'_>,
+    ) -> Result<ColoredGraph, nd_persist::PersistError> {
+        use nd_persist::malformed;
+        let offsets = r.u32_slice("graph offsets")?;
+        let adjacency = r.u32_slice("graph adjacency")?;
+        if offsets.first() != Some(&0) {
+            return Err(malformed("graph offsets must start with 0"));
+        }
+        let n = offsets.len() - 1;
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(malformed("graph offsets are not monotone"));
+        }
+        if offsets[n] as usize != adjacency.len() {
+            return Err(malformed("graph offsets do not cover the adjacency array"));
+        }
+        let mut g = ColoredGraph {
+            offsets,
+            adjacency,
+            color_members: Vec::new(),
+            color_names: Vec::new(),
+        };
+        for v in 0..n as Vertex {
+            let ns = g.neighbors(v);
+            // Strict sortedness makes the range check a last-element test
+            // and turns the self-loop scan into one binary search.
+            if ns.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed(format!("adjacency list of {v} is not sorted")));
+            }
+            if ns.last().is_some_and(|&u| (u as usize) >= n) {
+                return Err(malformed(format!("neighbor of {v} out of range [0,{n})")));
+            }
+            if ns.binary_search(&v).is_ok() {
+                return Err(malformed(format!("self-loop on vertex {v}")));
+            }
+        }
+        // Symmetry in O(n + m): walk every directed edge (v,u) in global
+        // scan order and match it against a cursor into u's list. Out-
+        // lists are strictly sorted and v ascends, so the in-edges of `u`
+        // arrive exactly in list order iff every in-list equals the
+        // corresponding out-list — i.e. iff the graph is symmetric. The
+        // trailing degree check catches lists with unmatched tails.
+        {
+            let mut fill: Vec<u32> = g.offsets[..n].to_vec();
+            for v in 0..n as Vertex {
+                for &u in g.neighbors(v) {
+                    let p = fill[u as usize] as usize;
+                    if p >= g.offsets[u as usize + 1] as usize || g.adjacency[p] != v {
+                        return Err(malformed(format!("edge ({v},{u}) is not symmetric")));
+                    }
+                    fill[u as usize] += 1;
+                }
+            }
+            if (0..n).any(|u| fill[u] != g.offsets[u + 1]) {
+                return Err(malformed("adjacency is not symmetric".to_string()));
+            }
+        }
+        let colors = r.seq_len(9, "graph color count")?;
+        for _ in 0..colors {
+            let members = r.u32_slice_sorted(n as u32, "color members")?;
+            let name = if r.bool("color name flag")? {
+                Some(r.str("color name")?)
+            } else {
+                None
+            };
+            g.color_members.push(members);
+            g.color_names.push(name);
+        }
+        Ok(g)
+    }
+}
+
 impl fmt::Debug for ColoredGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ColoredGraph")
@@ -233,6 +336,80 @@ mod tests {
         let g = triangle_plus_isolated();
         let e: Vec<_> = g.edges().collect();
         assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn binary_codec_roundtrip() {
+        let mut g = triangle_plus_isolated();
+        g.add_color(vec![0, 2], Some("Blue".into()));
+        g.add_color(vec![1], None);
+        let mut w = nd_persist::Writer::new();
+        g.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = nd_persist::Reader::new(&bytes);
+        let g2 = ColoredGraph::read_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(g2.n(), g.n());
+        assert_eq!(g2.m(), g.m());
+        for v in g.vertices() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+        assert_eq!(g2.color_members(ColorId(0)), &[0, 2]);
+        assert_eq!(g2.color_name(ColorId(0)), Some("Blue"));
+        assert_eq!(g2.color_name(ColorId(1)), None);
+    }
+
+    #[test]
+    fn binary_codec_rejects_broken_invariants() {
+        use nd_persist::{PersistError, Reader, Writer};
+        let decode = |f: &dyn Fn(&mut Writer)| {
+            let mut w = Writer::new();
+            f(&mut w);
+            let bytes = w.into_bytes();
+            ColoredGraph::read_from(&mut Reader::new(&bytes))
+        };
+        // Offsets not starting at zero.
+        let e = decode(&|w| {
+            w.u32_slice(&[1, 1]);
+            w.u32_slice(&[]);
+            w.seq_len(0);
+        });
+        assert!(matches!(e, Err(PersistError::Malformed { .. })));
+        // Non-monotone offsets.
+        let e = decode(&|w| {
+            w.u32_slice(&[0, 2, 1]);
+            w.u32_slice(&[1, 0]);
+            w.seq_len(0);
+        });
+        assert!(matches!(e, Err(PersistError::Malformed { .. })));
+        // Asymmetric adjacency: 0 -> 1 without 1 -> 0.
+        let e = decode(&|w| {
+            w.u32_slice(&[0, 1, 1]);
+            w.u32_slice(&[1]);
+            w.seq_len(0);
+        });
+        assert!(matches!(e, Err(PersistError::Malformed { .. })));
+        // Self loop.
+        let e = decode(&|w| {
+            w.u32_slice(&[0, 1]);
+            w.u32_slice(&[0]);
+            w.seq_len(0);
+        });
+        assert!(matches!(e, Err(PersistError::Malformed { .. })));
+        // Color member out of range.
+        let e = decode(&|w| {
+            w.u32_slice(&[0, 0]);
+            w.u32_slice(&[]);
+            w.seq_len(1);
+            w.u32_slice(&[7]);
+            w.bool(false);
+        });
+        assert!(matches!(e, Err(PersistError::Malformed { .. })));
+        // Truncated mid-stream.
+        let e = decode(&|w| {
+            w.u32_slice(&[0, 0]);
+        });
+        assert!(matches!(e, Err(PersistError::Truncated { .. })));
     }
 
     #[test]

@@ -18,11 +18,18 @@ use crate::graph::{ColorId, ColoredGraph, Vertex};
 use std::fmt;
 use std::io::{BufRead, Write};
 
-/// Errors raised while reading the text format.
+/// Errors raised while reading persisted inputs: the text graph format,
+/// or the binary index container of DESIGN.md §9.
 #[derive(Debug)]
 pub enum ReadError {
     Io(std::io::Error),
-    Parse { line: usize, message: String },
+    Parse {
+        line: usize,
+        message: String,
+    },
+    /// A binary index file failed to load (bad magic, version mismatch,
+    /// checksum failure, truncation, or malformed content).
+    Index(nd_persist::PersistError),
 }
 
 impl fmt::Display for ReadError {
@@ -32,15 +39,30 @@ impl fmt::Display for ReadError {
             ReadError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }
+            ReadError::Index(e) => write!(f, "index load error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ReadError {}
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Parse { .. } => None,
+            ReadError::Index(e) => Some(e),
+        }
+    }
+}
 
 impl From<std::io::Error> for ReadError {
     fn from(e: std::io::Error) -> Self {
         ReadError::Io(e)
+    }
+}
+
+impl From<nd_persist::PersistError> for ReadError {
+    fn from(e: nd_persist::PersistError) -> Self {
+        ReadError::Index(e)
     }
 }
 

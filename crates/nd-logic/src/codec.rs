@@ -1,0 +1,306 @@
+//! Binary (de)serialization of the FO⁺ AST for the persistent index
+//! (DESIGN.md §9).
+//!
+//! The query is persisted as its AST, not its surface text, so that
+//! programmatically constructed queries (conformance harness, Removal
+//! Lemma rewritings) round-trip exactly. Decoding validates the [`Query`]
+//! invariants (no duplicate answer variables; the free list covers the
+//! formula's free variables) and returns a typed [`PersistError`] instead
+//! of panicking on hostile bytes.
+
+use crate::ast::{ColorRef, Formula, Query, VarId};
+use nd_persist::{malformed, PersistError, Reader, Writer};
+
+/// Maximum `Not`/quantifier/connective nesting accepted by the decoder —
+/// a guard against stack exhaustion on crafted files. Far beyond any
+/// realistic query (the parser itself tops out much earlier), but small
+/// enough that the decoder's recursion fits a 2 MiB thread stack even in
+/// unoptimized builds.
+const MAX_DEPTH: u32 = 128;
+
+/// Append `f`'s encoding to `w`.
+pub fn write_formula(f: &Formula, w: &mut Writer) {
+    match f {
+        Formula::True => w.u8(0),
+        Formula::False => w.u8(1),
+        Formula::Edge(x, y) => {
+            w.u8(2);
+            w.u32(x.0);
+            w.u32(y.0);
+        }
+        Formula::Color(ColorRef::Named(name), x) => {
+            w.u8(3);
+            w.str(name);
+            w.u32(x.0);
+        }
+        Formula::Color(ColorRef::Id(i), x) => {
+            w.u8(4);
+            w.u32(*i);
+            w.u32(x.0);
+        }
+        Formula::Eq(x, y) => {
+            w.u8(5);
+            w.u32(x.0);
+            w.u32(y.0);
+        }
+        Formula::DistLe(x, y, d) => {
+            w.u8(6);
+            w.u32(x.0);
+            w.u32(y.0);
+            w.u32(*d);
+        }
+        Formula::Rel(name, xs) => {
+            w.u8(7);
+            w.str(name);
+            w.seq_len(xs.len());
+            for x in xs {
+                w.u32(x.0);
+            }
+        }
+        Formula::Not(g) => {
+            w.u8(8);
+            write_formula(g, w);
+        }
+        Formula::And(gs) => {
+            w.u8(9);
+            w.seq_len(gs.len());
+            for g in gs {
+                write_formula(g, w);
+            }
+        }
+        Formula::Or(gs) => {
+            w.u8(10);
+            w.seq_len(gs.len());
+            for g in gs {
+                write_formula(g, w);
+            }
+        }
+        Formula::Exists(v, g) => {
+            w.u8(11);
+            w.u32(v.0);
+            write_formula(g, w);
+        }
+        Formula::Forall(v, g) => {
+            w.u8(12);
+            w.u32(v.0);
+            write_formula(g, w);
+        }
+    }
+}
+
+/// Decode one formula from `r`.
+pub fn read_formula(r: &mut Reader<'_>) -> Result<Formula, PersistError> {
+    read_formula_at(r, 0)
+}
+
+fn read_formula_at(r: &mut Reader<'_>, depth: u32) -> Result<Formula, PersistError> {
+    if depth > MAX_DEPTH {
+        return Err(malformed("formula nesting exceeds the depth cap"));
+    }
+    let var = |r: &mut Reader<'_>| Ok::<_, PersistError>(VarId(r.u32("formula var")?));
+    Ok(match r.u8("formula tag")? {
+        0 => Formula::True,
+        1 => Formula::False,
+        2 => Formula::Edge(var(r)?, var(r)?),
+        3 => {
+            let name = r.str("color name")?;
+            Formula::Color(ColorRef::Named(name), var(r)?)
+        }
+        4 => {
+            let id = r.u32("color id")?;
+            Formula::Color(ColorRef::Id(id), var(r)?)
+        }
+        5 => Formula::Eq(var(r)?, var(r)?),
+        6 => {
+            let (x, y) = (var(r)?, var(r)?);
+            Formula::DistLe(x, y, r.u32("distance bound")?)
+        }
+        7 => {
+            let name = r.str("relation name")?;
+            let n = r.seq_len(4, "relation arity")?;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(var(r)?);
+            }
+            Formula::Rel(name, xs)
+        }
+        8 => Formula::Not(Box::new(read_formula_at(r, depth + 1)?)),
+        9 => {
+            let n = r.seq_len(1, "conjunction size")?;
+            let mut gs = Vec::with_capacity(n);
+            for _ in 0..n {
+                gs.push(read_formula_at(r, depth + 1)?);
+            }
+            Formula::And(gs)
+        }
+        10 => {
+            let n = r.seq_len(1, "disjunction size")?;
+            let mut gs = Vec::with_capacity(n);
+            for _ in 0..n {
+                gs.push(read_formula_at(r, depth + 1)?);
+            }
+            Formula::Or(gs)
+        }
+        11 => {
+            let v = var(r)?;
+            Formula::Exists(v, Box::new(read_formula_at(r, depth + 1)?))
+        }
+        12 => {
+            let v = var(r)?;
+            Formula::Forall(v, Box::new(read_formula_at(r, depth + 1)?))
+        }
+        other => return Err(malformed(format!("unknown formula tag {other}"))),
+    })
+}
+
+/// Append `q`'s encoding to `w`.
+pub fn write_query(q: &Query, w: &mut Writer) {
+    write_formula(&q.formula, w);
+    w.seq_len(q.free.len());
+    for v in &q.free {
+        w.u32(v.0);
+    }
+    w.seq_len(q.var_names.len());
+    for name in &q.var_names {
+        w.str(name);
+    }
+}
+
+/// Decode a [`Query`], re-validating its invariants (the panicking
+/// [`Query::new`] checks, surfaced as typed errors).
+pub fn read_query(r: &mut Reader<'_>) -> Result<Query, PersistError> {
+    let formula = read_formula(r)?;
+    let n_free = r.seq_len(4, "free-variable list")?;
+    let mut free = Vec::with_capacity(n_free);
+    for _ in 0..n_free {
+        free.push(VarId(r.u32("free variable")?));
+    }
+    let n_names = r.seq_len(1, "variable-name list")?;
+    let mut var_names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        var_names.push(r.str("variable name")?);
+    }
+    let mut sorted = free.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != free.len() {
+        return Err(malformed("duplicate answer variable in persisted query"));
+    }
+    if !formula
+        .free_vars()
+        .iter()
+        .all(|v| sorted.binary_search(v).is_ok())
+    {
+        return Err(malformed(
+            "persisted free-variable list does not cover the formula",
+        ));
+    }
+    Ok(Query {
+        formula,
+        free,
+        var_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    fn roundtrip(q: &Query) -> Query {
+        let mut w = Writer::new();
+        write_query(q, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = read_query(&mut r).unwrap();
+        r.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn parsed_queries_roundtrip() {
+        for src in [
+            "dist(x,y) <= 2",
+            "dist(x,y) > 2 && Blue(y)",
+            "q(x,y,z) := dist(x,z) > 2 && dist(y,z) > 2 && Blue(z)",
+            "E(x,y) || (dist(x,y) > 3 && Blue(y))",
+            "(exists u. (E(x,u) && Blue(u))) && dist(x,y) > 2",
+            "forall u. (E(x,u) || Red(u))",
+            "exists x. Blue(x)",
+        ] {
+            let q = parse_query(src).unwrap();
+            assert_eq!(roundtrip(&q), q, "{src}");
+        }
+    }
+
+    #[test]
+    fn programmatic_queries_roundtrip() {
+        let q = Query::new(
+            Formula::and([
+                Formula::Color(ColorRef::Id(1), VarId(0)),
+                Formula::Rel("R".into(), vec![VarId(0), VarId(1)]),
+            ]),
+            vec![VarId(0), VarId(1)],
+        );
+        assert_eq!(roundtrip(&q), q);
+    }
+
+    #[test]
+    fn corrupted_bytes_fail_typed() {
+        let q = parse_query("dist(x,y) > 2 && Blue(y)").unwrap();
+        let mut w = Writer::new();
+        write_query(&q, &mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                read_query(&mut Reader::new(&bytes[..cut])).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Unknown tag.
+        let mut c = bytes.clone();
+        c[0] = 0xfe;
+        assert!(read_query(&mut Reader::new(&c)).is_err());
+    }
+
+    #[test]
+    fn invalid_free_list_rejected() {
+        // Encode E(x,y) with a free list that misses y.
+        let mut w = Writer::new();
+        write_formula(&Formula::Edge(VarId(0), VarId(1)), &mut w);
+        w.seq_len(1);
+        w.u32(0);
+        w.seq_len(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_query(&mut Reader::new(&bytes)),
+            Err(PersistError::Malformed { .. })
+        ));
+        // Duplicate answer variable.
+        let mut w = Writer::new();
+        write_formula(&Formula::True, &mut w);
+        w.seq_len(2);
+        w.u32(3);
+        w.u32(3);
+        w.seq_len(0);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_query(&mut Reader::new(&bytes)),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_nesting_depth_is_capped() {
+        let mut w = Writer::new();
+        for _ in 0..100_000 {
+            w.u8(8); // Not(
+        }
+        w.u8(0); // True
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            read_query(&mut Reader::new(&bytes)),
+            Err(PersistError::Malformed { .. })
+        ));
+    }
+}

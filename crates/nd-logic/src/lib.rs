@@ -23,6 +23,7 @@
 //!   conformance case into a locally minimal counterexample.
 
 pub mod ast;
+pub mod codec;
 pub mod distance_type;
 pub mod eval;
 pub mod grammar;

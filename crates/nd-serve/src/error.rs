@@ -23,6 +23,11 @@ pub enum ServeError {
     Query(QueryError),
     /// The pool is shutting down (or a worker disappeared mid-request).
     Shutdown,
+    /// A worker panicked while executing this request. The panic was
+    /// caught at the request boundary: the request is quarantined with
+    /// this error, the rest of its batch still executes, and the worker
+    /// keeps serving. The payload is the panic message.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for ServeError {
@@ -34,6 +39,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::Query(e) => write!(f, "bad request: {e}"),
             ServeError::Shutdown => write!(f, "server shutting down"),
+            ServeError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }

@@ -52,7 +52,7 @@ pub use admission::{Admission, AdmissionPermit};
 pub use cache::{CacheCounters, PrepareCache, DEFAULT_CACHE_CAPACITY};
 pub use error::ServeError;
 pub use metrics::{HistogramSnapshot, KindSnapshot, LatencyHistogram, Metrics, MetricsSnapshot};
-pub use pool::{BatchHandle, ServeOpts, ServerPool};
+pub use pool::{BatchHandle, ServeOpts, ServerPool, CHAOS_PANIC_MSG};
 pub use protocol::{handle_command, Reply, PROTOCOL_HELP};
 pub use request::{Request, RequestKind, Response, REQUEST_KINDS};
 pub use session::{Session, SESSION_PROTOCOL_HELP};

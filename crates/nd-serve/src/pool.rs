@@ -28,7 +28,8 @@ use crate::snapshot::Snapshot;
 use nd_graph::json::JsonObject;
 use nd_graph::Budget;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -36,6 +37,27 @@ use std::time::{Duration, Instant};
 /// How long an idle worker sleeps between queue re-checks. The condvar is
 /// notified on every submit, so this is only a lost-wakeup backstop.
 const IDLE_PARK: Duration = Duration::from_millis(2);
+
+/// Polling period of [`ServerPool::drain_with_deadline`]. The drain is a
+/// shutdown-path operation, so a short sleep loop beats threading another
+/// condvar through the hot submit path.
+const DRAIN_POLL: Duration = Duration::from_micros(200);
+
+/// Payload of chaos-injected worker panics (see
+/// [`ServeOpts::chaos_panic_period`]).
+pub const CHAOS_PANIC_MSG: &str = "chaos: injected worker panic";
+
+/// Render a caught panic payload as a message for
+/// [`ServeError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// Pool configuration.
 #[derive(Clone, Debug)]
@@ -47,6 +69,13 @@ pub struct ServeOpts {
     /// is the default per-request deadline. [`Budget::UNLIMITED`] turns
     /// admission control off.
     pub admission: Budget,
+    /// Chaos harness knob: when non-zero, every `chaos_panic_period`-th
+    /// request (counted across all workers) panics *inside* the
+    /// per-request recovery guard, exercising the
+    /// [`ServeError::WorkerPanic`] quarantine path deterministically.
+    /// `0` (the default) disables injection; production configs never set
+    /// this.
+    pub chaos_panic_period: u64,
 }
 
 impl Default for ServeOpts {
@@ -54,6 +83,7 @@ impl Default for ServeOpts {
         ServeOpts {
             workers: 0,
             admission: Budget::UNLIMITED,
+            chaos_panic_period: 0,
         }
     }
 }
@@ -92,6 +122,13 @@ struct PoolShared {
     metrics: Metrics,
     shutdown: AtomicBool,
     rr: AtomicUsize,
+    /// Worker panics caught and converted to [`ServeError::WorkerPanic`]
+    /// (or swallowed by the loop-level backstop). Relaxed: a counter, not
+    /// a synchronization point.
+    worker_panics: AtomicU64,
+    /// See [`ServeOpts::chaos_panic_period`]; `0` = off.
+    chaos_period: u64,
+    chaos_ticks: AtomicU64,
 }
 
 impl PoolShared {
@@ -135,9 +172,22 @@ impl PoolShared {
             let results: BatchResult = batch
                 .iter()
                 .map(|req| {
-                    let resp = self.snapshot.execute(req);
+                    // Per-request recovery guard: a panic in the engine
+                    // (or injected by the chaos knob) quarantines this
+                    // request as a typed error; the rest of the batch
+                    // still executes and the worker keeps serving.
+                    let resp = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        self.maybe_inject_chaos();
+                        self.snapshot.execute(req)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        Err(ServeError::WorkerPanic(panic_message(payload)))
+                    });
                     match &resp {
                         Ok(_) => ok_by_kind[req.kind() as usize] += 1,
+                        // Counted above, and not a client mistake.
+                        Err(ServeError::WorkerPanic(_)) => {}
                         Err(_) => self.metrics.record_client_error(req.kind()),
                     }
                     resp
@@ -157,10 +207,30 @@ impl PoolShared {
         drop(permit);
     }
 
+    /// Deterministic fault injection for the chaos harness: every
+    /// `chaos_period`-th request panics. `panic_any` (not the macro) so
+    /// the serving sources stay grep-clean of `panic!` outside tests.
+    fn maybe_inject_chaos(&self) {
+        if self.chaos_period > 0 {
+            let tick = self.chaos_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            if tick.is_multiple_of(self.chaos_period) {
+                std::panic::panic_any(CHAOS_PANIC_MSG);
+            }
+        }
+    }
+
     fn worker_loop(&self, me: usize) {
         loop {
             match self.find_job(me) {
-                Some(job) => self.execute(job),
+                Some(job) => {
+                    // Backstop for panics escaping the per-request guard
+                    // (metrics, channel plumbing): the job's sender drops
+                    // — its client sees `Shutdown` — but the worker
+                    // thread survives and keeps draining the queues.
+                    if std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(job))).is_err() {
+                        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 None => {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
@@ -225,6 +295,9 @@ impl ServerPool {
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
+            worker_panics: AtomicU64::new(0),
+            chaos_period: opts.chaos_panic_period,
+            chaos_ticks: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -331,7 +404,8 @@ impl ServerPool {
             .field_u64(
                 "inflight_requests",
                 self.shared.admission.inflight_requests(),
-            );
+            )
+            .field_u64("worker_panics", self.worker_panics());
         let mut o = JsonObject::new();
         o.field_raw("server", &server.finish())
             .field_raw("prepare", &snap.stats().to_json())
@@ -342,9 +416,68 @@ impl ServerPool {
         o.finish()
     }
 
+    /// Worker panics caught so far (per-request quarantines plus
+    /// loop-level backstops).
+    pub fn worker_panics(&self) -> u64 {
+        self.shared.worker_panics.load(Ordering::Relaxed)
+    }
+
     /// Stop accepting work, drain the queues, and join the workers.
     pub fn shutdown(mut self) {
         self.stop_and_join();
+    }
+
+    /// Stop admitting new work without consuming the pool: every submit
+    /// from this point returns [`ServeError::Shutdown`]. Workers drain
+    /// the already-admitted queue and then exit; dropping the pool joins
+    /// them.
+    pub fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+    }
+
+    /// Wait up to `deadline` for the queues to empty, then typed-reject
+    /// every job still queued with [`ServeError::Shutdown`] per request.
+    /// Returns whether the queues drained fully within the deadline.
+    /// Jobs a worker already picked up run to completion either way —
+    /// admitted work is answered or typed-rejected, never lost.
+    pub fn drain_with_deadline(&self, deadline: Duration) -> bool {
+        let t0 = Instant::now();
+        loop {
+            let queued: usize = self
+                .shared
+                .queues
+                .iter()
+                .map(|q| q.lock().map_or(0, |g| g.len()))
+                .sum();
+            if queued == 0 {
+                return true;
+            }
+            if t0.elapsed() >= deadline {
+                for q in &self.shared.queues {
+                    if let Ok(mut guard) = q.lock() {
+                        for job in guard.drain(..) {
+                            let n = job.batch.len();
+                            let _ = job.tx.send(vec![Err(ServeError::Shutdown); n]);
+                        }
+                    }
+                }
+                return false;
+            }
+            std::thread::sleep(DRAIN_POLL);
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, drain queued work until
+    /// `deadline`, typed-reject the remainder, join the workers. Returns
+    /// whether the drain completed without rejections.
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> bool {
+        self.begin_shutdown();
+        let drained = self.drain_with_deadline(deadline);
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        drained
     }
 
     fn stop_and_join(&mut self) {
@@ -415,19 +548,18 @@ mod tests {
         let mut via_pages = Vec::new();
         let mut cursor = Some(vec![0, 0]);
         while let Some(from) = cursor {
-            match pool
+            let resp = pool
                 .call(Request::EnumeratePage { from, limit: 17 })
-                .unwrap()
-            {
-                Response::Page {
-                    solutions,
-                    next_from,
-                } => {
-                    via_pages.extend(solutions);
-                    cursor = next_from;
-                }
-                other => panic!("unexpected response {other:?}"),
-            }
+                .unwrap();
+            let Response::Page {
+                solutions,
+                next_from,
+            } = resp
+            else {
+                unreachable!("page requests yield page responses, got {resp:?}")
+            };
+            via_pages.extend(solutions);
+            cursor = next_from;
         }
         let direct: Vec<_> = snap.prepared().enumerate().collect();
         assert_eq!(via_pages, direct);

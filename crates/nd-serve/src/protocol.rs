@@ -88,6 +88,7 @@ pub fn fmt_serve_error(e: &ServeError) -> String {
         ServeError::DeadlineExceeded { .. } => "deadline",
         ServeError::Query(_) => "query",
         ServeError::Shutdown => "shutdown",
+        ServeError::WorkerPanic(_) => "panic",
     };
     format!("err {kind}: {e}")
 }

@@ -17,15 +17,22 @@ use crate::cache::PrepareCache;
 use crate::pool::{ServeOpts, ServerPool};
 use crate::protocol::{handle_command, Reply};
 use crate::snapshot::Snapshot;
-use nd_core::{PrepareError, PrepareOpts};
+use nd_core::{LoadedIndex, PrepareError, PrepareOpts, SharedPreparedQuery};
+use nd_graph::json::JsonObject;
 use nd_graph::ColoredGraph;
 use nd_logic::ast::Query;
 use nd_logic::parse_query;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Command summary for sessions (the base protocol plus `prepare`).
+/// Command summary for sessions (the base protocol plus `prepare`,
+/// `swap` and `shutdown`).
 pub const SESSION_PROTOCOL_HELP: &str =
-    "commands: prepare QUERY | test a,b,.. | next a,b,.. | page a,b,.. LIMIT | stats | metrics | help | quit";
+    "commands: prepare QUERY | swap PATH | test a,b,.. | next a,b,.. | page a,b,.. LIMIT | stats | metrics | help | shutdown | quit";
+
+/// How long `shutdown` waits for queued work before typed-rejecting it.
+const SHUTDOWN_DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 
 /// One client-facing serving session over a shared graph.
 pub struct Session {
@@ -34,6 +41,15 @@ pub struct Session {
     serve_opts: ServeOpts,
     cache: PrepareCache,
     pool: ServerPool,
+    /// Snapshot generation: bumped on every pool replacement (`prepare`
+    /// or `swap`). In-flight work always finishes on the epoch it was
+    /// admitted under — the replaced pool drains fully before joining.
+    epoch: u64,
+    /// How many of those replacements were `swap`s of a persisted index.
+    swaps: u64,
+    /// Set by `shutdown`: probes get typed `err shutdown:` replies, and
+    /// `prepare`/`swap` refuse to resurrect the pool.
+    closed: bool,
 }
 
 impl Session {
@@ -54,7 +70,36 @@ impl Session {
             serve_opts,
             cache,
             pool,
+            epoch: 0,
+            swaps: 0,
+            closed: false,
         })
+    }
+
+    /// Start serving from an index loaded off disk (a warm start): no
+    /// preprocessing runs. `load_ms` is the observed load wall-clock,
+    /// reported as the snapshot's build time. Later `prepare` commands
+    /// work as usual, against the loaded graph.
+    pub fn start_loaded(
+        loaded: LoadedIndex,
+        prepare_opts: PrepareOpts,
+        serve_opts: ServeOpts,
+        cache_capacity: usize,
+        load_ms: u64,
+    ) -> Session {
+        let graph = loaded.prepared.graph_shared();
+        let snapshot = Snapshot::from_prepared(loaded.prepared, loaded.query_src, load_ms);
+        let pool = ServerPool::start(snapshot, &serve_opts);
+        Session {
+            graph,
+            prepare_opts,
+            serve_opts,
+            cache: PrepareCache::new(cache_capacity),
+            pool,
+            epoch: 0,
+            swaps: 0,
+            closed: false,
+        }
     }
 
     /// The pool currently serving probes.
@@ -72,11 +117,28 @@ impl Session {
         self.pool.snapshot()
     }
 
+    /// The snapshot generation currently serving (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `shutdown` has been issued.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
     /// The session's metrics document: the pool's metrics JSON extended
-    /// with the prepare-cache counters.
+    /// with the prepare-cache counters and the session's epoch state.
     pub fn metrics_json(&self) -> String {
-        self.pool
-            .metrics_json_with(&[("prepare_cache", self.cache.counters().to_json())])
+        let mut session = JsonObject::new();
+        session
+            .field_u64("epoch", self.epoch)
+            .field_u64("swaps", self.swaps)
+            .field_bool("closed", self.closed);
+        self.pool.metrics_json_with(&[
+            ("prepare_cache", self.cache.counters().to_json()),
+            ("session", session.finish()),
+        ])
     }
 
     /// Execute one protocol line. `prepare`, `metrics` and `help` are
@@ -90,6 +152,8 @@ impl Session {
         };
         match cmd {
             "prepare" => Some(Reply::Line(self.prepare(rest))),
+            "swap" => Some(Reply::Line(self.swap(rest))),
+            "shutdown" => Some(Reply::Line(self.shutdown_cmd())),
             "metrics" => Some(Reply::Line(self.metrics_json())),
             "help" => Some(Reply::Line(SESSION_PROTOCOL_HELP.to_string())),
             _ => handle_command(&self.pool, line),
@@ -101,6 +165,9 @@ impl Session {
     /// `err usage:`/`err prepare:` on failure (the old snapshot keeps
     /// serving).
     fn prepare(&mut self, query_src: &str) -> String {
+        if self.closed {
+            return "err shutdown: session is shut down".to_string();
+        }
         if query_src.is_empty() {
             return format!("err usage: expected: prepare QUERY ({SESSION_PROTOCOL_HELP})");
         }
@@ -115,18 +182,74 @@ impl Session {
             Ok((snapshot, hit)) => {
                 let arity = snapshot.arity();
                 let rung = snapshot.stats().rung.name();
-                // Restart the workers over the new snapshot; the old pool
-                // drains and joins on drop.
-                let old = std::mem::replace(
-                    &mut self.pool,
-                    ServerPool::start(snapshot, &self.serve_opts),
-                );
-                old.shutdown();
+                self.install(snapshot);
                 let tag = if hit { "hit" } else { "miss" };
                 format!("prepared {tag} arity={arity} rung={rung}")
             }
             Err(e) => format!("err prepare: {e}"),
         }
+    }
+
+    /// Hot-swap the serving index to one loaded from `path` (the
+    /// `swap PATH` protocol verb). On success the epoch advances and the
+    /// reply is `swapped epoch=N ..`; on any load failure — missing file,
+    /// truncation, bit flips, version skew — the current snapshot keeps
+    /// serving and the reply is a typed `err read:` line. Requests
+    /// admitted before the swap all complete on the old epoch: the
+    /// replaced pool drains its queues fully before joining, so a swap
+    /// never fails in-flight work.
+    fn swap(&mut self, path: &str) -> String {
+        if self.closed {
+            return "err shutdown: session is shut down".to_string();
+        }
+        if path.is_empty() {
+            return format!("err usage: expected: swap PATH ({SESSION_PROTOCOL_HELP})");
+        }
+        let t0 = Instant::now();
+        let loaded = match SharedPreparedQuery::load_index(Path::new(path)) {
+            Ok(l) => l,
+            Err(e) => return format!("err read: {e}"),
+        };
+        let load_ms = t0.elapsed().as_millis() as u64;
+        // The loaded graph is a fresh allocation, so every cached snapshot
+        // (keyed on graph identity) is stale: re-point the session's graph
+        // and start a fresh cache for subsequent `prepare`s.
+        self.graph = loaded.prepared.graph_shared();
+        self.cache = PrepareCache::new(self.cache.counters().capacity);
+        let snapshot = Snapshot::from_prepared(loaded.prepared, loaded.query_src, load_ms);
+        let arity = snapshot.arity();
+        let rung = snapshot.stats().rung.name().to_string();
+        self.install(snapshot);
+        self.swaps += 1;
+        format!(
+            "swapped epoch={} arity={arity} rung={rung} load_ms={load_ms}",
+            self.epoch
+        )
+    }
+
+    /// Replace the worker pool with one serving `snapshot`, advancing the
+    /// epoch. The old pool drains and joins: every request it admitted is
+    /// answered (or typed-rejected by its own deadline logic) before the
+    /// replacement completes.
+    fn install(&mut self, snapshot: Snapshot) {
+        let old = std::mem::replace(
+            &mut self.pool,
+            ServerPool::start(snapshot, &self.serve_opts),
+        );
+        old.shutdown();
+        self.epoch += 1;
+    }
+
+    /// Graceful shutdown (the `shutdown` protocol verb): stop admitting,
+    /// drain queued work up to a deadline, typed-reject the remainder.
+    /// The session object stays alive so further probes get typed
+    /// `err shutdown:` replies instead of a dropped connection; `quit`
+    /// ends the conversation.
+    fn shutdown_cmd(&mut self) -> String {
+        self.closed = true;
+        self.pool.begin_shutdown();
+        let drained = self.pool.drain_with_deadline(SHUTDOWN_DRAIN_DEADLINE);
+        format!("shutdown drained={drained}")
     }
 }
 
@@ -161,10 +284,13 @@ mod tests {
         .unwrap()
     }
 
+    /// Total over all reply shapes: non-line replies come back as
+    /// sentinel strings so downstream assertions report them legibly.
     fn line(reply: Option<Reply>) -> String {
         match reply {
             Some(Reply::Line(s)) => s,
-            other => panic!("expected a line reply, got {:?}", other.is_some()),
+            Some(Reply::Quit) => "<quit>".to_string(),
+            None => "<no reply>".to_string(),
         }
     }
 
@@ -211,8 +337,54 @@ mod tests {
         let mut s = session();
         let h = line(s.handle("help"));
         assert!(h.contains("prepare QUERY"), "{h}");
+        assert!(h.contains("swap PATH"), "{h}");
+        assert!(h.contains("shutdown"), "{h}");
         assert!(h.contains("page"), "{h}");
         // The base protocol help must stay a strict subset story.
         assert!(PROTOCOL_HELP.contains("page"));
+    }
+
+    #[test]
+    fn swap_errors_are_typed_and_keep_serving() {
+        let mut s = session();
+        let usage = line(s.handle("swap"));
+        assert!(usage.starts_with("err usage: expected: swap"), "{usage}");
+        let missing = line(s.handle("swap /nonexistent/nd-idx.bin"));
+        assert!(missing.starts_with("err read:"), "{missing}");
+        assert_eq!(s.epoch(), 0, "failed swap must not advance the epoch");
+        let t = line(s.handle("test 0,3"));
+        assert!(t == "true" || t == "false", "{t}");
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_typed() {
+        let mut s = session();
+        let r = line(s.handle("shutdown"));
+        assert_eq!(r, "shutdown drained=true");
+        assert!(s.is_closed());
+        // Probes, prepares and swaps now get typed rejections — the
+        // session never drops the conversation or panics.
+        let t = line(s.handle("test 0,3"));
+        assert!(t.starts_with("err shutdown:"), "{t}");
+        let p = line(s.handle("prepare E(x,y)"));
+        assert!(p.starts_with("err shutdown:"), "{p}");
+        let w = line(s.handle("swap idx.bin"));
+        assert!(w.starts_with("err shutdown:"), "{w}");
+        // Idempotent.
+        let again = line(s.handle("shutdown"));
+        assert!(again.starts_with("shutdown drained="), "{again}");
+    }
+
+    #[test]
+    fn prepare_advances_epoch_and_metrics_report_it() {
+        let mut s = session();
+        assert_eq!(s.epoch(), 0);
+        line(s.handle("prepare E(x,y)"));
+        assert_eq!(s.epoch(), 1);
+        let m = line(s.handle("metrics"));
+        assert!(m.contains("\"session\":{"), "{m}");
+        assert!(m.contains("\"epoch\":1"), "{m}");
+        assert!(m.contains("\"swaps\":0"), "{m}");
+        assert!(m.contains("\"worker_panics\":0"), "{m}");
     }
 }

@@ -55,6 +55,23 @@ impl Snapshot {
         })
     }
 
+    /// Wrap an already-prepared query — typically one deserialized from a
+    /// persistent index file — in a snapshot without re-running the
+    /// preprocessing. `build_ms` records whatever wall-clock produced the
+    /// prepared query (the load time, for a warm start), so the metrics
+    /// layer stays truthful about how this snapshot came to be.
+    pub fn from_prepared(query: SharedPreparedQuery, query_src: String, build_ms: u64) -> Snapshot {
+        let stats = query.stats();
+        Snapshot {
+            inner: Arc::new(SnapshotInner {
+                stats,
+                query_src,
+                build_ms,
+                query,
+            }),
+        }
+    }
+
     /// Convenience over [`Snapshot::build`] for a graph not yet shared.
     pub fn build_owned(
         graph: ColoredGraph,

@@ -35,6 +35,7 @@ fn saturated_pool_rejects_with_typed_overload() {
         &ServeOpts {
             workers: 1,
             admission: Budget::UNLIMITED.with_node_expansions(2),
+            ..Default::default()
         },
     );
 
@@ -90,6 +91,7 @@ fn oversized_batch_is_rejected_by_byte_cap() {
         &ServeOpts {
             workers: 1,
             admission: Budget::UNLIMITED.with_memory_bytes(1024),
+            ..Default::default()
         },
     );
     // A single huge page request costs far more than 1 KiB of queue.

@@ -113,6 +113,18 @@ impl KeySet {
     pub fn registers(&self) -> usize {
         self.inner.registers()
     }
+
+    /// Append the set's binary encoding to `w` (DESIGN.md §9).
+    pub fn write_into(&self, w: &mut nd_persist::Writer) {
+        self.inner.write_into(w);
+    }
+
+    /// Decode a set, re-validating the underlying trie's invariants.
+    pub fn read_from(r: &mut nd_persist::Reader<'_>) -> Result<KeySet, nd_persist::PersistError> {
+        Ok(KeySet {
+            inner: FnStore::read_from(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +146,24 @@ mod keyset_tests {
         assert!(!s.remove(&[3, 7]));
         assert_eq!(s.len(), 1);
         assert_eq!(s.iter_keys(), vec![vec![3, 9]]);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_membership() {
+        let mut s = KeySet::new(StoreParams::new(64, 2, 0.4));
+        for key in [[3u64, 7], [3, 9], [60, 0]] {
+            s.insert(&key);
+        }
+        let mut w = nd_persist::Writer::new();
+        s.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = nd_persist::Reader::new(&bytes);
+        let back = KeySet::read_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back.contains(&[3, 7]));
+        assert!(!back.contains(&[3, 8]));
+        assert_eq!(back.successor_inclusive(&[3, 8]), Some(vec![3, 9]));
+        assert_eq!(back.iter_keys(), s.iter_keys());
     }
 }

@@ -20,7 +20,9 @@
 //! ndq bench-serve --smoke --json bench.json
 //! ```
 
-use nowhere_dense::core::{Budget, Epsilon, NdError, PrepareOpts, PreparedQuery};
+use nowhere_dense::core::{
+    Budget, Epsilon, NdError, PrepareOpts, PreparedQuery, SharedPreparedQuery,
+};
 use nowhere_dense::graph::json::{JsonArray, JsonObject};
 use nowhere_dense::graph::{generators, io, ColoredGraph, Vertex};
 use nowhere_dense::logic::parse_query;
@@ -29,7 +31,9 @@ use nowhere_dense::serve::{
     HistogramSnapshot, Reply, Request, ServeError, ServeOpts, ServerPool, Session, Snapshot,
     DEFAULT_CACHE_CAPACITY, SESSION_PROTOCOL_HELP,
 };
+use std::borrow::Borrow;
 use std::io::{BufRead, Write};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::sync::Mutex;
@@ -124,6 +128,11 @@ GRAPH / QUERY OPTIONS (all modes):
       [--prepare-threads N]              preprocessing worker threads
                                          (0 = all cores; index is identical
                                          for every thread count)
+      [--save PATH]                      persist the prepared index
+                                         (checksummed, atomically written)
+      [--load PATH]                      warm-start from a persisted index;
+                                         replaces --graph/--query (the file
+                                         carries both)
 
 ONE-SHOT OPTIONS:
       [--enumerate N]                    stream the first N answers
@@ -139,9 +148,11 @@ SERVE OPTIONS:
       [--max-queued-bytes N]             admission cap: queued request bytes
       [--deadline-ms N]                  default per-request deadline
       [--prepare-cache N]                cached prepared queries [8]
+      [--fallback-reprepare]             if --load fails, cold-prepare from
+                                         --graph/--query instead of exiting
   protocol, one command per line:
-      prepare QUERY   test a,b,..   next a,b,..   page a,b,.. LIMIT
-      stats   metrics   help   quit
+      prepare QUERY   swap PATH   test a,b,..   next a,b,..
+      page a,b,.. LIMIT   stats   metrics   help   shutdown   quit
 
 BENCH-SERVE OPTIONS (defaults in brackets):
       [--workers LIST]                   worker counts to compare [1,4]
@@ -189,6 +200,11 @@ struct Common {
     no_fallback: bool,
     budget_nodes: Option<u64>,
     prepare_threads: usize,
+    /// Persist the prepared index to this path (one-shot and serve).
+    save: Option<String>,
+    /// Warm-start from a persisted index instead of preparing; replaces
+    /// `--graph`/`--graph-file`/`--query` (the file carries both).
+    load: Option<String>,
 }
 
 impl Common {
@@ -202,6 +218,8 @@ impl Common {
             no_fallback: false,
             budget_nodes: None,
             prepare_threads: 1,
+            save: None,
+            load: None,
         }
     }
 
@@ -239,6 +257,8 @@ impl Common {
                     .parse()
                     .map_err(|e| usage(format!("bad --prepare-threads: {e}")))?
             }
+            "--save" => self.save = Some(val("--save")?),
+            "--load" => self.load = Some(val("--load")?),
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -438,8 +458,84 @@ fn parse_query_args(argv: Vec<String>) -> Result<QueryArgs, CliError> {
     Ok(args)
 }
 
+/// Map an index read/decode failure to the typed `read` exit code (15).
+fn read_err(e: nowhere_dense::persist::PersistError) -> CliError {
+    CliError::Nd(NdError::Read(e.into()))
+}
+
+/// Execute the probe/enumerate/count flags against a prepared index,
+/// whether it borrows the graph (cold prepare) or owns it (warm load).
+fn run_probes<G: Borrow<ColoredGraph>>(
+    args: &QueryArgs,
+    prepared: &PreparedQuery<G>,
+) -> Result<(), CliError> {
+    let arity = prepared.arity();
+    let n = prepared.graph().n();
+    if args.stats {
+        eprintln!("index: {:#?}", prepared.stats());
+    }
+    for t in &args.tests {
+        let tuple = parse_tuple(t, arity, n)?;
+        let t0 = Instant::now();
+        let ans = prepared.test(&tuple);
+        println!("test {tuple:?} -> {ans}  ({:?})", t0.elapsed());
+    }
+    for t in &args.nexts {
+        let tuple = parse_tuple(t, arity, n)?;
+        let t0 = Instant::now();
+        let ans = prepared.next_solution(&tuple);
+        println!("next {tuple:?} -> {ans:?}  ({:?})", t0.elapsed());
+    }
+    if args.count {
+        let t0 = Instant::now();
+        println!("count: {}  ({:?})", prepared.count(), t0.elapsed());
+    }
+    if let Some(limit) = args.enumerate {
+        let t0 = Instant::now();
+        let mut shown = 0;
+        for sol in prepared.enumerate().take(limit) {
+            println!("{sol:?}");
+            shown += 1;
+        }
+        eprintln!("{shown} answers in {:?}", t0.elapsed());
+    }
+    Ok(())
+}
+
 fn cmd_query(argv: Vec<String>) -> Result<(), CliError> {
     let args = parse_query_args(argv)?;
+
+    // Warm start: the index file carries the graph, the query and every
+    // engine structure — no preprocessing runs.
+    if let Some(path) = &args.common.load {
+        if args.common.graph_spec.is_some()
+            || args.common.graph_file.is_some()
+            || args.common.query.is_some()
+        {
+            return Err(usage(
+                "--load replaces --graph/--graph-file/--query: the index file carries both",
+            ));
+        }
+        let t0 = Instant::now();
+        let loaded = SharedPreparedQuery::load_index(Path::new(path)).map_err(read_err)?;
+        eprintln!(
+            "loaded {path} in {:?}: {} vertices, query: {} (rung: {})",
+            t0.elapsed(),
+            loaded.prepared.graph().n(),
+            loaded.query_src,
+            loaded.prepared.stats().rung.name(),
+        );
+        run_probes(&args, &loaded.prepared)?;
+        if let Some(save) = &args.common.save {
+            loaded
+                .prepared
+                .save_index(&loaded.query, &loaded.query_src, Path::new(save))
+                .map_err(read_err)?;
+            eprintln!("saved index to {save}");
+        }
+        return Ok(());
+    }
+
     let g = args.common.build_graph()?;
     eprintln!(
         "graph: {} vertices, {} edges, {} colors",
@@ -465,35 +561,13 @@ fn cmd_query(argv: Vec<String>) -> Result<(), CliError> {
         prepared.engine_kind()
     );
 
-    if args.stats {
-        eprintln!("index: {:#?}", prepared.stats());
+    if let Some(save) = &args.common.save {
+        prepared
+            .save_index(&q, query_src, Path::new(save))
+            .map_err(read_err)?;
+        eprintln!("saved index to {save}");
     }
-    for t in &args.tests {
-        let tuple = parse_tuple(t, q.arity(), g.n())?;
-        let t0 = Instant::now();
-        let ans = prepared.test(&tuple);
-        println!("test {tuple:?} -> {ans}  ({:?})", t0.elapsed());
-    }
-    for t in &args.nexts {
-        let tuple = parse_tuple(t, q.arity(), g.n())?;
-        let t0 = Instant::now();
-        let ans = prepared.next_solution(&tuple);
-        println!("next {tuple:?} -> {ans:?}  ({:?})", t0.elapsed());
-    }
-    if args.count {
-        let t0 = Instant::now();
-        println!("count: {}  ({:?})", prepared.count(), t0.elapsed());
-    }
-    if let Some(limit) = args.enumerate {
-        let t0 = Instant::now();
-        let mut shown = 0;
-        for sol in prepared.enumerate().take(limit) {
-            println!("{sol:?}");
-            shown += 1;
-        }
-        eprintln!("{shown} answers in {:?}", t0.elapsed());
-    }
-    Ok(())
+    run_probes(&args, &prepared)
 }
 
 // ---------------------------------------------------------------------------
@@ -508,6 +582,9 @@ struct ServeArgs {
     max_queued_bytes: Option<u64>,
     deadline_ms: Option<u64>,
     prepare_cache: usize,
+    /// When a `--load` fails, fall back to a cold prepare from
+    /// `--graph`/`--query` instead of exiting with the typed read error.
+    fallback_reprepare: bool,
 }
 
 fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
@@ -519,6 +596,7 @@ fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
         max_queued_bytes: None,
         deadline_ms: None,
         prepare_cache: DEFAULT_CACHE_CAPACITY,
+        fallback_reprepare: false,
     };
     let mut it = argv.into_iter();
     while let Some(a) = it.next() {
@@ -552,6 +630,7 @@ fn parse_serve_args(argv: Vec<String>) -> Result<ServeArgs, CliError> {
             "--prepare-cache" => {
                 args.prepare_cache = parse_u64("--prepare-cache", val("--prepare-cache")?)? as usize
             }
+            "--fallback-reprepare" => args.fallback_reprepare = true,
             other => return Err(usage(format!("unknown argument {other:?}"))),
         }
     }
@@ -648,8 +727,10 @@ fn serve_tcp(session: Arc<Mutex<Session>>, addr: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_serve(argv: Vec<String>) -> Result<(), CliError> {
-    let args = parse_serve_args(argv)?;
+/// Cold-start a serving session: build the graph, parse the query,
+/// prepare. Honors `--save` so an operator can persist the index the
+/// server just built.
+fn cold_serve_session(args: &ServeArgs, opts: ServeOpts) -> Result<Session, CliError> {
     let g = args.common.build_graph()?;
     eprintln!(
         "graph: {} vertices, {} edges, {} colors",
@@ -664,10 +745,6 @@ fn cmd_serve(argv: Vec<String>) -> Result<(), CliError> {
         .ok_or_else(|| usage("missing --query (see --help)"))?;
     let q = parse_query(query_src).map_err(|e| usage(e.to_string()))?;
     eprintln!("query: {q}");
-    let opts = ServeOpts {
-        workers: args.workers,
-        admission: admission_budget(&args),
-    };
     let session = Session::start(
         g.into_shared(),
         &q,
@@ -682,6 +759,56 @@ fn cmd_serve(argv: Vec<String>) -> Result<(), CliError> {
         session.snapshot().stats().rung.name(),
         args.prepare_cache,
     );
+    if let Some(save) = &args.common.save {
+        session
+            .snapshot()
+            .prepared()
+            .save_index(&q, query_src, Path::new(save))
+            .map_err(read_err)?;
+        eprintln!("saved index to {save}");
+    }
+    Ok(session)
+}
+
+/// Start the serving session: warm from `--load` when given (with an
+/// optional cold-prepare fallback), cold otherwise.
+fn start_serve_session(args: &ServeArgs, opts: ServeOpts) -> Result<Session, CliError> {
+    if let Some(path) = &args.common.load {
+        let t0 = Instant::now();
+        match SharedPreparedQuery::load_index(Path::new(path)) {
+            Ok(loaded) => {
+                let load_ms = t0.elapsed().as_millis() as u64;
+                eprintln!(
+                    "warm start: loaded {path} in {load_ms} ms: {} vertices, query: {} (rung: {})",
+                    loaded.prepared.graph().n(),
+                    loaded.query_src,
+                    loaded.prepared.stats().rung.name(),
+                );
+                return Ok(Session::start_loaded(
+                    loaded,
+                    args.common.prepare_opts()?,
+                    opts,
+                    args.prepare_cache,
+                    load_ms,
+                ));
+            }
+            Err(e) if args.fallback_reprepare => {
+                eprintln!("warning: loading {path} failed ({e}); falling back to a cold prepare");
+            }
+            Err(e) => return Err(read_err(e)),
+        }
+    }
+    cold_serve_session(args, opts)
+}
+
+fn cmd_serve(argv: Vec<String>) -> Result<(), CliError> {
+    let args = parse_serve_args(argv)?;
+    let opts = ServeOpts {
+        workers: args.workers,
+        admission: admission_budget(&args),
+        ..ServeOpts::default()
+    };
+    let session = start_serve_session(&args, opts)?;
     eprintln!(
         "serving with {} workers; {}",
         session.pool().workers(),
@@ -892,6 +1019,7 @@ fn bench_one(snap: &Snapshot, args: &BenchArgs, workers: usize) -> BenchRun {
         &ServeOpts {
             workers,
             admission: Budget::UNLIMITED,
+            ..ServeOpts::default()
         },
     ));
     let n = snap.graph().n() as Vertex;

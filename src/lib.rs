@@ -11,6 +11,8 @@
 //! * [`graph`] — colored graphs, generators, the relational reduction.
 //! * [`logic`] — FO⁺ formulas, parsing, naive evaluation, distance types.
 //! * [`store`] — the Storing Theorem (Thm 3.1) trie.
+//! * [`persist`] — the checksummed on-disk container behind `ndq`'s
+//!   `--save`/`--load` index files and the serve-side `swap` verb.
 //! * [`cover`] — neighborhood covers (Thm 4.4) and kernels (Lemma 5.7).
 //! * [`splitter`] — the splitter game (Def 4.5, Thm 4.6).
 //! * [`core`] — distance oracles (Prop 4.2), skip pointers (Lemma 5.8) and
@@ -31,6 +33,7 @@ pub use nd_core as core;
 pub use nd_cover as cover;
 pub use nd_graph as graph;
 pub use nd_logic as logic;
+pub use nd_persist as persist;
 pub use nd_serve as serve;
 pub use nd_splitter as splitter;
 pub use nd_store as store;
